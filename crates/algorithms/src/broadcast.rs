@@ -1,0 +1,106 @@
+//! `t`-bounded information gathering: after `t` rounds every node knows the
+//! IDs of all nodes in its ball `B_{G,t}(v)`.
+//!
+//! This is the purest example of a `t`-round LOCAL algorithm (its output is
+//! literally the `t`-ball), which makes it the canonical workload for the
+//! `t`-local broadcast experiments: the direct execution floods `G` every
+//! round, the message-reduced execution floods a spanner.
+
+use freelunch_graph::NodeId;
+use freelunch_runtime::{Context, Envelope, NodeProgram};
+use std::collections::BTreeSet;
+
+/// The per-node program: repeatedly broadcast everything newly learned.
+#[derive(Debug)]
+pub struct BallGathering {
+    horizon: u32,
+    known: BTreeSet<u32>,
+    fresh: Vec<u32>,
+}
+
+impl BallGathering {
+    /// Creates the program for `node` with gathering horizon `t`.
+    pub fn new(node: NodeId, horizon: u32) -> Self {
+        BallGathering { horizon, known: BTreeSet::from([node.raw()]), fresh: vec![node.raw()] }
+    }
+
+    /// The IDs gathered so far (the node's view of its ball).
+    pub fn known_ids(&self) -> Vec<u32> {
+        self.known.iter().copied().collect()
+    }
+}
+
+impl NodeProgram for BallGathering {
+    type Message = Vec<u32>;
+
+    fn init(&mut self, ctx: &mut Context<'_, Vec<u32>>) {
+        if self.horizon > 0 {
+            ctx.broadcast(self.fresh.clone());
+        }
+        self.fresh.clear();
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, Vec<u32>>, inbox: &[Envelope<Vec<u32>>]) {
+        for envelope in inbox {
+            for &id in &envelope.payload {
+                if self.known.insert(id) {
+                    self.fresh.push(id);
+                }
+            }
+        }
+        if ctx.round() < self.horizon && !self.fresh.is_empty() {
+            ctx.broadcast(self.fresh.clone());
+        }
+        self.fresh.clear();
+        if ctx.round() >= self.horizon {
+            ctx.halt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freelunch_graph::generators::{connected_erdos_renyi, cycle_graph, GeneratorConfig};
+    use freelunch_graph::traversal::ball;
+    use freelunch_graph::MultiGraph;
+    use freelunch_runtime::{Network, NetworkConfig};
+
+    fn run_gathering(graph: &MultiGraph, t: u32) -> Vec<Vec<u32>> {
+        let mut network = Network::new(graph, NetworkConfig::with_seed(0), |node, _| {
+            BallGathering::new(node, t)
+        })
+        .unwrap();
+        network.run_rounds(t).unwrap();
+        network.programs().iter().map(BallGathering::known_ids).collect()
+    }
+
+    #[test]
+    fn gathers_exactly_the_t_ball() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(60, 3), 0.08).unwrap();
+        for t in [0u32, 1, 2, 3] {
+            let views = run_gathering(&graph, t);
+            for v in graph.nodes() {
+                let expected: Vec<u32> =
+                    ball(&graph, v, t).unwrap().into_iter().map(NodeId::raw).collect();
+                assert_eq!(views[v.index()], expected, "node {v}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_ball_sizes_are_correct() {
+        let graph = cycle_graph(&GeneratorConfig::new(12, 0)).unwrap();
+        let views = run_gathering(&graph, 2);
+        assert!(views.iter().all(|view| view.len() == 5));
+    }
+
+    #[test]
+    fn horizon_zero_knows_only_itself() {
+        let graph = cycle_graph(&GeneratorConfig::new(5, 0)).unwrap();
+        let views = run_gathering(&graph, 0);
+        for (v, view) in views.iter().enumerate() {
+            assert_eq!(view, &vec![v as u32]);
+        }
+    }
+}

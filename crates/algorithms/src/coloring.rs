@@ -1,0 +1,169 @@
+//! Randomized `(Δ+1)`-coloring — another classic `O(log n)`-round LOCAL
+//! algorithm used as a simulation target.
+//!
+//! Each phase, every uncolored node proposes a color drawn uniformly from
+//! its remaining palette and keeps it if no uncolored neighbor proposed the
+//! same color; colored neighbors' colors are removed from the palette.
+
+use freelunch_runtime::{Context, Envelope, NodeProgram};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Messages exchanged by the coloring algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColoringMessage {
+    /// Tentative color proposed this phase.
+    Proposal(u32),
+    /// Final color adopted by the sender.
+    Final(u32),
+}
+
+/// The per-node program.
+#[derive(Debug)]
+pub struct RandomizedColoring {
+    palette_size: u32,
+    forbidden: HashSet<u32>,
+    proposal: Option<u32>,
+    color: Option<u32>,
+    conflict: bool,
+}
+
+impl RandomizedColoring {
+    /// Creates the program for a node with the given degree (the palette is
+    /// `{0, …, degree}`, i.e. `Δ_v + 1` colors, which always suffices).
+    pub fn new(degree: usize) -> Self {
+        RandomizedColoring {
+            palette_size: degree as u32 + 1,
+            forbidden: HashSet::new(),
+            proposal: None,
+            color: None,
+            conflict: false,
+        }
+    }
+
+    /// The node's final color (meaningful once the execution has halted).
+    pub fn color(&self) -> Option<u32> {
+        self.color
+    }
+
+    fn draw_proposal(&self, rng: &mut impl Rng) -> u32 {
+        loop {
+            let candidate = rng.gen_range(0..self.palette_size);
+            if !self.forbidden.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl NodeProgram for RandomizedColoring {
+    type Message = ColoringMessage;
+
+    fn round(&mut self, ctx: &mut Context<'_, ColoringMessage>, inbox: &[Envelope<ColoringMessage>]) {
+        for envelope in inbox {
+            match envelope.payload {
+                ColoringMessage::Proposal(c) => {
+                    if self.proposal == Some(c) {
+                        self.conflict = true;
+                    }
+                }
+                ColoringMessage::Final(c) => {
+                    self.forbidden.insert(c);
+                    if self.proposal == Some(c) {
+                        self.conflict = true;
+                    }
+                }
+            }
+        }
+
+        if self.color.is_some() {
+            ctx.halt();
+            return;
+        }
+
+        if ctx.round() % 2 == 1 {
+            // Propose.
+            self.conflict = false;
+            let proposal = self.draw_proposal(ctx.rng());
+            self.proposal = Some(proposal);
+            ctx.broadcast(ColoringMessage::Proposal(proposal));
+        } else {
+            // Resolve.
+            if !self.conflict {
+                let color = self.proposal.expect("a proposal was made in the previous round");
+                self.color = Some(color);
+                ctx.broadcast(ColoringMessage::Final(color));
+                ctx.halt();
+            }
+        }
+    }
+}
+
+/// Verifies that the assignment is a proper coloring with at most
+/// `max_degree + 1` colors.
+pub fn is_proper_coloring(graph: &freelunch_graph::MultiGraph, colors: &[Option<u32>]) -> bool {
+    if colors.iter().any(Option::is_none) {
+        return false;
+    }
+    for edge in graph.edges() {
+        if colors[edge.u.index()] == colors[edge.v.index()] {
+            return false;
+        }
+    }
+    colors
+        .iter()
+        .flatten()
+        .all(|&c| (c as usize) <= graph.max_degree())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freelunch_graph::generators::{complete_graph, connected_erdos_renyi, GeneratorConfig};
+    use freelunch_graph::MultiGraph;
+    use freelunch_runtime::{Network, NetworkConfig};
+
+    fn run_coloring(graph: &MultiGraph, seed: u64) -> (Vec<Option<u32>>, u64) {
+        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, knowledge| {
+            RandomizedColoring::new(knowledge.degree())
+        })
+        .unwrap();
+        network.run_until_halt(400).unwrap();
+        (network.programs().iter().map(RandomizedColoring::color).collect(), network.cost().rounds)
+    }
+
+    #[test]
+    fn colors_random_graphs_properly() {
+        for seed in 0..4u64 {
+            let graph = connected_erdos_renyi(&GeneratorConfig::new(70, seed), 0.1).unwrap();
+            let (colors, _) = run_coloring(&graph, seed);
+            assert!(is_proper_coloring(&graph, &colors), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_uses_all_colors() {
+        let graph = complete_graph(&GeneratorConfig::new(20, 0)).unwrap();
+        let (colors, _) = run_coloring(&graph, 7);
+        assert!(is_proper_coloring(&graph, &colors));
+        let distinct: HashSet<u32> = colors.iter().flatten().copied().collect();
+        assert_eq!(distinct.len(), 20);
+    }
+
+    #[test]
+    fn terminates_in_logarithmically_many_rounds() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(100, 5), 0.05).unwrap();
+        let (colors, rounds) = run_coloring(&graph, 5);
+        assert!(is_proper_coloring(&graph, &colors));
+        assert!(rounds < 80, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn validator_detects_conflicts_and_missing_colors() {
+        let graph = complete_graph(&GeneratorConfig::new(3, 0)).unwrap();
+        assert!(!is_proper_coloring(&graph, &[Some(0), Some(0), Some(1)]));
+        assert!(!is_proper_coloring(&graph, &[Some(0), None, Some(1)]));
+        assert!(is_proper_coloring(&graph, &[Some(0), Some(2), Some(1)]));
+    }
+}

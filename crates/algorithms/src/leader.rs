@@ -1,0 +1,108 @@
+//! `t`-local leader election: every node elects the largest node ID within
+//! its ball `B_{G,t}(v)`.
+//!
+//! A strictly `t`-round LOCAL task whose output differs from node to node,
+//! used to exercise the ball-sufficiency verification of the simulation
+//! machinery (unlike global leader election, it is solvable in `t` rounds).
+
+use freelunch_graph::NodeId;
+use freelunch_runtime::{Context, Envelope, NodeProgram};
+
+/// The per-node program: iterated maximum.
+#[derive(Debug)]
+pub struct LocalLeaderElection {
+    horizon: u32,
+    leader: u32,
+}
+
+impl LocalLeaderElection {
+    /// Creates the program for `node` with horizon `t`.
+    pub fn new(node: NodeId, horizon: u32) -> Self {
+        LocalLeaderElection { horizon, leader: node.raw() }
+    }
+
+    /// The elected leader (the largest ID heard so far).
+    pub fn leader(&self) -> u32 {
+        self.leader
+    }
+}
+
+impl NodeProgram for LocalLeaderElection {
+    type Message = u32;
+
+    fn init(&mut self, ctx: &mut Context<'_, u32>) {
+        if self.horizon > 0 {
+            ctx.broadcast(self.leader);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[Envelope<u32>]) {
+        let before = self.leader;
+        for envelope in inbox {
+            self.leader = self.leader.max(envelope.payload);
+        }
+        if ctx.round() < self.horizon && self.leader > before {
+            ctx.broadcast(self.leader);
+        }
+        if ctx.round() >= self.horizon {
+            ctx.halt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freelunch_graph::generators::{connected_erdos_renyi, path_graph, GeneratorConfig};
+    use freelunch_graph::traversal::ball;
+    use freelunch_graph::MultiGraph;
+    use freelunch_runtime::{Network, NetworkConfig};
+
+    fn run_election(graph: &MultiGraph, t: u32) -> Vec<u32> {
+        let mut network = Network::new(graph, NetworkConfig::with_seed(0), |node, _| {
+            LocalLeaderElection::new(node, t)
+        })
+        .unwrap();
+        network.run_rounds(t).unwrap();
+        network.programs().iter().map(LocalLeaderElection::leader).collect()
+    }
+
+    #[test]
+    fn elects_the_ball_maximum() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(50, 7), 0.1).unwrap();
+        for t in [1u32, 2, 4] {
+            let leaders = run_election(&graph, t);
+            for v in graph.nodes() {
+                let expected =
+                    ball(&graph, v, t).unwrap().into_iter().map(NodeId::raw).max().unwrap();
+                assert_eq!(leaders[v.index()], expected, "node {v}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn on_a_path_information_travels_exactly_t_hops() {
+        let graph = path_graph(&GeneratorConfig::new(10, 0)).unwrap();
+        let leaders = run_election(&graph, 3);
+        // Node 0 can only see up to node 3.
+        assert_eq!(leaders[0], 3);
+        // Node 9 is its own leader.
+        assert_eq!(leaders[9], 9);
+        // Node 6 sees node 9.
+        assert_eq!(leaders[6], 9);
+    }
+
+    #[test]
+    fn messages_stop_once_nothing_new_is_learned() {
+        let graph = path_graph(&GeneratorConfig::new(6, 0)).unwrap();
+        let mut network = Network::new(&graph, NetworkConfig::with_seed(0), |node, _| {
+            LocalLeaderElection::new(node, 100)
+        })
+        .unwrap();
+        network.run_rounds(20).unwrap();
+        // Once every node knows the global maximum (after diameter rounds),
+        // no further messages are sent even though the horizon is 100.
+        let per_round = &network.metrics().messages_per_round;
+        assert!(per_round[10..].iter().all(|&m| m == 0));
+    }
+}

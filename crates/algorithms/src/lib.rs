@@ -1,0 +1,34 @@
+//! # freelunch-algorithms
+//!
+//! Example LOCAL algorithms used as the algorithm `A` of the paper's
+//! message-reduction question ("given a `t`-round LOCAL algorithm, simulate
+//! it with `o(m)` messages"):
+//!
+//! * [`mis`] — Luby's randomized maximal independent set;
+//! * [`coloring`] — randomized `(Δ+1)`-coloring;
+//! * [`broadcast`] — `t`-bounded ball gathering (the canonical `t`-round
+//!   task);
+//! * [`leader`] — `t`-local leader election (ball maximum);
+//! * [`matching`] — randomized maximal matching.
+//!
+//! Every algorithm is a [`NodeProgram`](freelunch_runtime::NodeProgram)
+//! executed by the synchronous runtime, and each module ships a validator
+//! (`is_maximal_independent_set`, `is_proper_coloring`, …) used by the
+//! end-to-end "free lunch" experiments to confirm that message-reduced
+//! executions preserve output correctness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod broadcast;
+pub mod coloring;
+pub mod leader;
+pub mod matching;
+pub mod mis;
+
+pub use broadcast::BallGathering;
+pub use coloring::{is_proper_coloring, ColoringMessage, RandomizedColoring};
+pub use leader::LocalLeaderElection;
+pub use matching::{is_maximal_matching, MatchingMessage, MaximalMatching};
+pub use mis::{is_maximal_independent_set, LubyMis, MisMessage, MisState};

@@ -1,0 +1,230 @@
+//! Luby's randomized maximal independent set (MIS) — a classic `O(log n)`
+//! round LOCAL algorithm used as a simulation target for the
+//! message-reduction schemes.
+//!
+//! In each phase every undecided node draws a random priority and broadcasts
+//! it; a node joins the MIS if its priority beats all undecided neighbors,
+//! and a node with a neighbor in the MIS leaves the graph. One phase takes
+//! two communication rounds here (priority exchange, then membership
+//! announcement).
+
+use freelunch_runtime::{Context, Envelope, NodeProgram};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Decision state of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MisState {
+    /// Still competing.
+    Undecided,
+    /// Joined the independent set.
+    InSet,
+    /// A neighbor joined the set; this node is permanently out.
+    OutOfSet,
+}
+
+/// Messages exchanged by the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MisMessage {
+    /// Random priority drawn for the current phase.
+    Priority(u64),
+    /// Announcement that the sender joined the MIS.
+    Joined,
+    /// Announcement that the sender is out (its edges can be ignored from
+    /// now on).
+    Retired,
+}
+
+/// Luby's MIS as a node program.
+#[derive(Debug)]
+pub struct LubyMis {
+    state: MisState,
+    /// Ports whose neighbor is still undecided.
+    active_ports: Vec<usize>,
+    my_priority: u64,
+    /// Highest priority heard from an active neighbor in the current phase.
+    best_neighbor_priority: Option<u64>,
+}
+
+impl LubyMis {
+    /// Creates the per-node program.
+    pub fn new(degree: usize) -> Self {
+        LubyMis {
+            state: MisState::Undecided,
+            active_ports: (0..degree).collect(),
+            my_priority: 0,
+            best_neighbor_priority: None,
+        }
+    }
+
+    /// The node's decision (meaningful once the execution has halted).
+    pub fn state(&self) -> MisState {
+        self.state
+    }
+}
+
+impl NodeProgram for LubyMis {
+    type Message = MisMessage;
+
+    fn round(&mut self, ctx: &mut Context<'_, MisMessage>, inbox: &[Envelope<MisMessage>]) {
+        // Membership / retirement notifications are processed first: they can
+        // settle this node or shrink its active neighborhood.
+        let mut neighbor_joined = false;
+        for envelope in inbox {
+            match envelope.payload {
+                MisMessage::Joined => neighbor_joined = true,
+                MisMessage::Retired => {
+                    // The sender's port is unknown; retire lazily by priority
+                    // silence (it will simply stop sending priorities).
+                }
+                MisMessage::Priority(p) => {
+                    self.best_neighbor_priority =
+                        Some(self.best_neighbor_priority.map_or(p, |b| b.max(p)));
+                }
+            }
+        }
+
+        if self.state != MisState::Undecided {
+            ctx.halt();
+            return;
+        }
+        if neighbor_joined {
+            self.state = MisState::OutOfSet;
+            for port in self.active_ports.clone() {
+                ctx.send_port(port, MisMessage::Retired);
+            }
+            ctx.halt();
+            return;
+        }
+
+        // Phases are two rounds long: odd rounds exchange priorities, even
+        // rounds resolve them.
+        if ctx.round() % 2 == 1 {
+            self.my_priority = ctx.rng().gen();
+            self.best_neighbor_priority = None;
+            if self.active_ports.is_empty() {
+                // No undecided neighbors left: join immediately.
+                self.state = MisState::InSet;
+                ctx.halt();
+                return;
+            }
+            for port in self.active_ports.clone() {
+                ctx.send_port(port, MisMessage::Priority(self.my_priority));
+            }
+        } else if ctx.round() > 1 {
+            let wins = match self.best_neighbor_priority {
+                Some(best) => self.my_priority > best,
+                None => true,
+            };
+            if wins {
+                self.state = MisState::InSet;
+                for port in self.active_ports.clone() {
+                    ctx.send_port(port, MisMessage::Joined);
+                }
+                ctx.halt();
+            }
+        }
+    }
+}
+
+/// Verifies that the per-node states form a maximal independent set of the
+/// graph: no two adjacent nodes are in the set, and every out-of-set node has
+/// a neighbor in the set.
+pub fn is_maximal_independent_set(
+    graph: &freelunch_graph::MultiGraph,
+    states: &[MisState],
+) -> bool {
+    for edge in graph.edges() {
+        if states[edge.u.index()] == MisState::InSet && states[edge.v.index()] == MisState::InSet {
+            return false;
+        }
+    }
+    for v in graph.nodes() {
+        match states[v.index()] {
+            MisState::InSet => {}
+            _ => {
+                let covered = graph
+                    .incident_edges(v)
+                    .iter()
+                    .any(|ie| states[ie.neighbor.index()] == MisState::InSet);
+                if !covered {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freelunch_graph::generators::{
+        complete_graph, connected_erdos_renyi, cycle_graph, GeneratorConfig,
+    };
+    use freelunch_graph::MultiGraph;
+    use freelunch_runtime::{Network, NetworkConfig};
+
+    fn run_mis(graph: &MultiGraph, seed: u64) -> (Vec<MisState>, u64) {
+        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, knowledge| {
+            LubyMis::new(knowledge.degree())
+        })
+        .unwrap();
+        network.run_until_halt(200).unwrap();
+        let rounds = network.cost().rounds;
+        (network.programs().iter().map(LubyMis::state).collect(), rounds)
+    }
+
+    #[test]
+    fn produces_a_maximal_independent_set_on_random_graphs() {
+        for seed in 0..5u64 {
+            let graph = connected_erdos_renyi(&GeneratorConfig::new(80, seed), 0.1).unwrap();
+            let (states, _) = run_mis(&graph, seed);
+            assert!(is_maximal_independent_set(&graph, &states), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_selects_exactly_one_node() {
+        let graph = complete_graph(&GeneratorConfig::new(40, 0)).unwrap();
+        let (states, _) = run_mis(&graph, 3);
+        assert_eq!(states.iter().filter(|s| **s == MisState::InSet).count(), 1);
+        assert!(is_maximal_independent_set(&graph, &states));
+    }
+
+    #[test]
+    fn cycle_terminates_quickly() {
+        let graph = cycle_graph(&GeneratorConfig::new(50, 0)).unwrap();
+        let (states, rounds) = run_mis(&graph, 1);
+        assert!(is_maximal_independent_set(&graph, &states));
+        // Luby terminates in O(log n) phases whp; allow a generous margin.
+        assert!(rounds < 60, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn isolated_nodes_join_the_set() {
+        let graph = MultiGraph::new(5);
+        let (states, _) = run_mis(&graph, 0);
+        assert!(states.iter().all(|s| *s == MisState::InSet));
+    }
+
+    #[test]
+    fn validator_detects_broken_sets() {
+        let graph = cycle_graph(&GeneratorConfig::new(4, 0)).unwrap();
+        // Adjacent members.
+        assert!(!is_maximal_independent_set(
+            &graph,
+            &[MisState::InSet, MisState::InSet, MisState::OutOfSet, MisState::OutOfSet]
+        ));
+        // Uncovered node.
+        assert!(!is_maximal_independent_set(
+            &graph,
+            &[MisState::OutOfSet, MisState::OutOfSet, MisState::OutOfSet, MisState::OutOfSet]
+        ));
+        // A valid configuration.
+        assert!(is_maximal_independent_set(
+            &graph,
+            &[MisState::InSet, MisState::OutOfSet, MisState::InSet, MisState::OutOfSet]
+        ));
+    }
+}

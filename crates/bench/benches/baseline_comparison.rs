@@ -1,0 +1,29 @@
+//! Criterion bench: the baseline spanner constructions (Baswana-Sen, greedy,
+//! Derbel-style cluster spanner) on a common workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freelunch_baselines::{BaswanaSen, ClusterSpanner, GreedySpanner};
+use freelunch_bench::Workload;
+use freelunch_core::spanner_api::SpannerAlgorithm;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_spanners");
+    group.sample_size(10);
+    let graph = Workload::DenseRandom.build(256, 3).expect("workload builds");
+    group.bench_function("baswana_sen_k3", |b| {
+        let algorithm = BaswanaSen::new(3).expect("valid");
+        b.iter(|| algorithm.construct(&graph, 5).expect("runs"))
+    });
+    group.bench_function("cluster_spanner_r1", |b| {
+        let algorithm = ClusterSpanner::new(1).expect("valid");
+        b.iter(|| algorithm.construct(&graph, 5).expect("runs"))
+    });
+    group.bench_function("greedy_alpha3", |b| {
+        let algorithm = GreedySpanner::new(3).expect("valid");
+        b.iter(|| algorithm.construct(&graph, 5).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: t-local broadcast on a spanner vs direct flooding
+//! (experiments E5/E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freelunch_baselines::direct_flooding;
+use freelunch_bench::{experiment_params, Workload};
+use freelunch_core::reduction::tlocal::t_local_broadcast;
+use freelunch_core::sampler::Sampler;
+
+fn bench_tlocal_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_local_broadcast");
+    group.sample_size(10);
+    let graph = Workload::DenseRandom.build(384, 9).expect("workload builds");
+    let params = experiment_params(2);
+    let spanner = Sampler::new(params).run(&graph, 7).expect("sampler runs");
+    let edges = spanner.spanner_edges().to_vec();
+    for t in [1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("spanner_flooding", t), &t, |b, &t| {
+            b.iter(|| {
+                t_local_broadcast(&graph, edges.iter().copied(), t, params.stretch_bound())
+                    .expect("broadcast runs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct_flooding", t), &t, |b, &t| {
+            b.iter(|| direct_flooding(&graph, t).expect("flooding runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tlocal_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: messages-per-edge of Sampler vs Baswana-Sen on dense
+//! graphs (throughput of the two constructions, to accompany experiment E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freelunch_baselines::BaswanaSen;
+use freelunch_bench::{experiment_params, Workload};
+use freelunch_core::sampler::Sampler;
+use freelunch_core::spanner_api::SpannerAlgorithm;
+
+fn bench_construction_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner_construction_comparison");
+    group.sample_size(10);
+    let graph = Workload::DenseRandom.build(384, 3).expect("workload builds");
+    group.bench_with_input(BenchmarkId::new("sampler", 384), &graph, |b, graph| {
+        let sampler = Sampler::new(experiment_params(2));
+        b.iter(|| sampler.construct(graph, 5).expect("runs"))
+    });
+    group.bench_with_input(BenchmarkId::new("baswana_sen", 384), &graph, |b, graph| {
+        let baswana = BaswanaSen::new(3).expect("valid");
+        b.iter(|| baswana.construct(graph, 5).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_comparison);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: Sampler construction throughput across graph sizes and k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freelunch_bench::{experiment_params, Workload};
+use freelunch_core::sampler::Sampler;
+
+fn bench_sampler_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_construction");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        for k in [1u32, 2] {
+            let graph = Workload::DenseRandom.build(n, 1).expect("workload builds");
+            let sampler = Sampler::new(experiment_params(k));
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &graph,
+                |b, graph| b.iter(|| sampler.run(graph, 7).expect("sampler runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler_construction);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment E8 — Figure 1: a step-by-step trace of procedure `Cluster_j`.
+//!
+//! Runs `Sampler` with tracing on a small planted-partition graph and prints
+//! the per-level panels of Figure 1: the level graph, the query edges, the
+//! `F` edges, the centers, the clusters and the contracted next-level graph.
+
+use freelunch_bench::{cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_core::sampler::{Sampler, SamplerParams};
+
+fn main() {
+    let graph = Workload::Communities.build(128, 5).expect("workload builds");
+    let params = SamplerParams::with_constants(2, 3, experiment_constants()).expect("valid");
+    let (outcome, trace) = Sampler::new(params).run_with_trace(&graph, 3).expect("sampler runs");
+
+    println!("Figure 1 trace (one line per level):\n{trace}");
+
+    let mut table = ExperimentTable::new(
+        "E8 — Figure 1 panels per level",
+        &["level", "|V_j|", "|E_j|", "query edges", "F edges", "centers", "clusters", "unclustered", "|V_(j+1)|"],
+    );
+    for level in &trace.levels {
+        table.push_row(vec![
+            cell_u64(u64::from(level.level)),
+            cell_u64(level.nodes as u64),
+            cell_u64(level.edges as u64),
+            cell_u64(level.query_edges.len() as u64),
+            cell_u64(level.f_edges.len() as u64),
+            cell_u64(level.centers.len() as u64),
+            cell_u64(level.clusters.len() as u64),
+            cell_u64(level.unclustered.len() as u64),
+            level.next_level_nodes.map_or_else(|| cell_str("-"), |n| cell_u64(n as u64)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "spanner: {} of {} edges, distributed cost: {} rounds / {} messages",
+        outcome.spanner_size(),
+        graph.edge_count(),
+        outcome.cost.rounds,
+        outcome.cost.messages
+    );
+}

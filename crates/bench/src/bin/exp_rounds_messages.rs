@@ -1,0 +1,64 @@
+//! Experiments E3 + E4 — Theorem 2, round and message complexity.
+//!
+//! E3: rounds of `Sampler` as a function of `k` and `h` (paper bound
+//! `O(3^k·h)`).
+//! E4: messages of `Sampler` vs the `Ω(m)`-message baselines (Baswana–Sen,
+//! the Derbel-style cluster spanner, greedy-by-collection) on increasingly
+//! dense graphs — the headline "free lunch": construction messages stop
+//! tracking `m`.
+
+use freelunch_baselines::{BaswanaSen, ClusterSpanner};
+use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_core::sampler::{Sampler, SamplerParams};
+use freelunch_core::spanner_api::SpannerAlgorithm;
+
+fn main() {
+    // E3: rounds vs (k, h).
+    let mut rounds_table = ExperimentTable::new(
+        "E3 — Theorem 2 rounds: measured rounds vs bound O(3^k h) (dense ER, n = 512)",
+        &["k", "h", "measured rounds", "paper bound 3^k*h", "ratio"],
+    );
+    let graph = Workload::DenseRandom.build(512, 7).expect("workload builds");
+    for k in 1..=3u32 {
+        for h in [3u32, 7] {
+            let params = SamplerParams::with_constants(k, h, experiment_constants())
+                .expect("valid parameters");
+            let outcome = Sampler::new(params).run(&graph, 11).expect("sampler runs");
+            let bound = params.round_bound();
+            rounds_table.push_row(vec![
+                cell_u64(u64::from(k)),
+                cell_u64(u64::from(h)),
+                cell_u64(outcome.cost.rounds),
+                cell_u64(bound),
+                cell_f64(outcome.cost.rounds as f64 / bound as f64),
+            ]);
+        }
+    }
+    println!("{}", rounds_table.to_markdown());
+
+    // E4: messages vs m for Sampler and Ω(m) baselines on denser and denser
+    // graphs.
+    let mut message_table = ExperimentTable::new(
+        "E4 — Theorem 2 messages: construction messages vs |E| (n = 512)",
+        &["workload", "m", "sampler msgs", "baswana-sen msgs", "cluster-spanner msgs", "sampler msgs / m"],
+    );
+    for workload in [Workload::SparseRandom, Workload::Communities, Workload::DenseRandom, Workload::Complete] {
+        let graph = workload.build(512, 3).expect("workload builds");
+        let sampler = Sampler::new(
+            SamplerParams::with_constants(2, 7, experiment_constants()).expect("valid parameters"),
+        );
+        let sampler_result = sampler.construct(&graph, 5).expect("sampler runs");
+        let baswana = BaswanaSen::new(3).expect("valid k").construct(&graph, 5).expect("runs");
+        let cluster = ClusterSpanner::new(1).expect("valid radius").construct(&graph, 5).expect("runs");
+        let m = graph.edge_count() as u64;
+        message_table.push_row(vec![
+            cell_str(workload.label()),
+            cell_u64(m),
+            cell_u64(sampler_result.cost.messages),
+            cell_u64(baswana.cost.messages),
+            cell_u64(cluster.cost.messages),
+            cell_f64(sampler_result.cost.messages as f64 / m as f64),
+        ]);
+    }
+    println!("{}", message_table.to_markdown());
+}

@@ -1,0 +1,87 @@
+//! Experiments E1 + E2 — Theorem 2, size and stretch.
+//!
+//! Sweeps `n` and `k` over dense workloads, measuring the spanner size
+//! produced by `Sampler`, the fitted size exponent (to compare against the
+//! paper's `1 + 1/(2^{k+1}−1)`), and the worst-case per-edge stretch (to
+//! compare against the bound `2·3^k − 1`).
+
+use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_params, fit_power_law_exponent, ExperimentTable, Workload};
+use freelunch_core::sampler::Sampler;
+use freelunch_graph::spanner_check::verify_edge_stretch;
+use rayon::prelude::*;
+
+fn main() {
+    let sizes = [256usize, 512, 1024];
+    let ks = [1u32, 2, 3];
+    let seeds = [1u64, 2, 3];
+    let workload = Workload::DenseRandom;
+
+    let mut size_table = ExperimentTable::new(
+        "E1 — Theorem 2 size: |S| vs n (dense Erdos-Renyi, mean over seeds)",
+        &["k", "n", "m", "spanner edges", "paper bound n^(1+d)", "edges kept (%)"],
+    );
+    let mut stretch_table = ExperimentTable::new(
+        "E2 — Theorem 9 stretch: worst per-edge stretch vs bound 2*3^k-1",
+        &["k", "n", "max stretch", "mean stretch", "bound", "within bound"],
+    );
+    let mut fit_table = ExperimentTable::new(
+        "E1b — fitted size exponent vs paper exponent 1 + 1/(2^(k+1)-1)",
+        &["k", "fitted exponent", "paper exponent"],
+    );
+
+    for &k in &ks {
+        let params = experiment_params(k);
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for &n in &sizes {
+            let runs: Vec<(usize, usize, u32, f64, bool)> = seeds
+                .par_iter()
+                .map(|&seed| {
+                    let graph = workload.build(n, seed).expect("workload builds");
+                    let outcome = Sampler::new(params).run(&graph, seed).expect("sampler runs");
+                    let report = verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied())
+                        .expect("stretch check");
+                    (
+                        graph.edge_count(),
+                        outcome.spanner_size(),
+                        report.max_stretch,
+                        report.mean_stretch,
+                        report.satisfies(params.stretch_bound()),
+                    )
+                })
+                .collect();
+            let mean_m = runs.iter().map(|r| r.0 as f64).sum::<f64>() / runs.len() as f64;
+            let mean_size = runs.iter().map(|r| r.1 as f64).sum::<f64>() / runs.len() as f64;
+            let max_stretch = runs.iter().map(|r| r.2).max().unwrap_or(0);
+            let mean_stretch = runs.iter().map(|r| r.3).sum::<f64>() / runs.len() as f64;
+            let all_within = runs.iter().all(|r| r.4);
+
+            size_table.push_row(vec![
+                cell_u64(u64::from(k)),
+                cell_u64(n as u64),
+                cell_f64(mean_m),
+                cell_f64(mean_size),
+                cell_f64(params.size_bound(n)),
+                cell_f64(100.0 * mean_size / mean_m),
+            ]);
+            stretch_table.push_row(vec![
+                cell_u64(u64::from(k)),
+                cell_u64(n as u64),
+                cell_u64(u64::from(max_stretch)),
+                cell_f64(mean_stretch),
+                cell_u64(u64::from(params.stretch_bound())),
+                cell_str(if all_within { "yes" } else { "NO" }),
+            ]);
+            points.push((n as f64, mean_size));
+        }
+        let fitted = fit_power_law_exponent(&points).unwrap_or(f64::NAN);
+        fit_table.push_row(vec![
+            cell_u64(u64::from(k)),
+            cell_f64(fitted),
+            cell_f64(1.0 + params.delta()),
+        ]);
+    }
+
+    println!("{}", size_table.to_markdown());
+    println!("{}", stretch_table.to_markdown());
+    println!("{}", fit_table.to_markdown());
+}

@@ -1,0 +1,58 @@
+//! Experiment E5 — Lemma 12 (first bullet): the single-stage scheme.
+//!
+//! Sweeps the locality `t` and the scheme parameter `γ`, comparing the
+//! measured rounds/messages of the Sampler-based `t`-local broadcast against
+//! (a) direct flooding on `G` (`Θ(t·m)` messages, `t` rounds) and
+//! (b) gossip-based message reduction (`Θ(n)` messages per round,
+//! `O(t log n + log² n)` rounds).
+
+use freelunch_baselines::{direct_flooding, gossip_broadcast};
+use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_core::reduction::scheme::SamplerScheme;
+
+fn main() {
+    let n = 512;
+    let graph = Workload::DenseRandom.build(n, 9).expect("workload builds");
+    let m = graph.edge_count() as u64;
+
+    let mut table = ExperimentTable::new(
+        format!("E5 — Lemma 12 scheme 1: t-local broadcast on dense ER (n = {n}, m = {m})"),
+        &["t", "method", "rounds", "messages", "messages / (t*m)"],
+    );
+
+    for t in [1u32, 2, 4] {
+        // Baseline 1: direct flooding on G.
+        let flooding = direct_flooding(&graph, t).expect("flooding runs");
+        table.push_row(vec![
+            cell_u64(u64::from(t)),
+            cell_str("direct flooding"),
+            cell_u64(flooding.broadcast.cost.rounds),
+            cell_u64(flooding.broadcast.cost.messages),
+            cell_f64(flooding.broadcast.cost.messages as f64 / (u64::from(t) * m) as f64),
+        ]);
+        // Baseline 2: gossip.
+        let gossip = gossip_broadcast(&graph, t, 13).expect("gossip runs");
+        table.push_row(vec![
+            cell_u64(u64::from(t)),
+            cell_str("gossip (push-pull)"),
+            cell_u64(gossip.cost.rounds),
+            cell_u64(gossip.cost.messages),
+            cell_f64(gossip.cost.messages as f64 / (u64::from(t) * m) as f64),
+        ]);
+        // The paper's scheme for γ = 1, 2.
+        for gamma in [1u32, 2] {
+            let scheme = SamplerScheme::with_constants(gamma, experiment_constants())
+                .expect("valid gamma");
+            let report = scheme.run(&graph, t, 17).expect("scheme runs");
+            table.push_row(vec![
+                cell_u64(u64::from(t)),
+                cell_str(format!("sampler scheme (gamma={gamma})")),
+                cell_u64(report.total_cost.rounds),
+                cell_u64(report.total_cost.messages),
+                cell_f64(report.total_cost.messages as f64 / (u64::from(t) * m) as f64),
+            ]);
+        }
+    }
+
+    println!("{}", table.to_markdown());
+}

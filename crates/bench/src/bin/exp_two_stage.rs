@@ -1,0 +1,74 @@
+//! Experiment E6 — Lemma 12 (second bullet) / Theorem 3: the two-stage
+//! scheme.
+//!
+//! The second-stage spanner construction (the Derbel-style cluster spanner)
+//! would cost `Θ(ρ·m)` messages if run directly; the two-stage scheme
+//! instead simulates it over the stage-1 Sampler spanner and then floods the
+//! second spanner, keeping the total rounds `O(t)`.
+
+use freelunch_baselines::ClusterSpanner;
+use freelunch_bench::{cell_f64, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_core::reduction::two_stage::TwoStageScheme;
+use freelunch_core::spanner_api::SpannerAlgorithm;
+
+fn main() {
+    let n = 512;
+    let graph = Workload::DenseRandom.build(n, 21).expect("workload builds");
+    let m = graph.edge_count() as u64;
+
+    let mut table = ExperimentTable::new(
+        format!("E6 — Lemma 12 scheme 2: two-stage t-local broadcast (n = {n}, m = {m})"),
+        &[
+            "t",
+            "stage1 msgs",
+            "stage2 (simulated) msgs",
+            "stage3 msgs",
+            "total msgs",
+            "total rounds",
+            "second stage direct msgs (avoided)",
+        ],
+    );
+
+    let second_stage_direct =
+        ClusterSpanner::new(1).expect("valid radius").construct(&graph, 3).expect("runs");
+
+    for t in [1u32, 2, 4, 8] {
+        let scheme = TwoStageScheme::new(
+            1,
+            experiment_constants(),
+            ClusterSpanner::new(1).expect("valid radius"),
+        )
+        .expect("valid gamma");
+        let report = scheme.run(&graph, t, 29).expect("scheme runs");
+        table.push_row(vec![
+            cell_u64(u64::from(t)),
+            cell_u64(report.stage1_cost.messages),
+            cell_u64(report.stage2_cost.messages),
+            cell_u64(report.stage3_cost.messages),
+            cell_u64(report.total_cost.messages),
+            cell_u64(report.total_cost.rounds),
+            cell_u64(second_stage_direct.cost.messages),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let mut shape = ExperimentTable::new(
+        "E6b — round complexity stays O(t): total rounds / t",
+        &["t", "total rounds", "rounds / t"],
+    );
+    for t in [2u32, 4, 8, 16] {
+        let scheme = TwoStageScheme::new(
+            1,
+            experiment_constants(),
+            ClusterSpanner::new(1).expect("valid radius"),
+        )
+        .expect("valid gamma");
+        let report = scheme.run(&graph, t, 31).expect("scheme runs");
+        shape.push_row(vec![
+            cell_u64(u64::from(t)),
+            cell_u64(report.total_cost.rounds),
+            cell_f64(report.total_cost.rounds as f64 / f64::from(t)),
+        ]);
+    }
+    println!("{}", shape.to_markdown());
+}

@@ -1,0 +1,23 @@
+//! # freelunch-bench
+//!
+//! Experiment harness reproducing the paper's complexity claims. The crate
+//! provides:
+//!
+//! * [`table`] — experiment tables (markdown / JSON) and power-law fitting;
+//! * [`workloads`] — the graph families and standard parameters shared by
+//!   all experiments;
+//! * experiment binaries (`src/bin/exp_*.rs`), one per claim of the paper
+//!   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+//!   recorded results);
+//! * criterion benches (`benches/`) measuring construction and simulation
+//!   throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod table;
+pub mod workloads;
+
+pub use table::{cell_f64, cell_str, cell_u64, fit_power_law_exponent, ExperimentTable};
+pub use workloads::{experiment_constants, experiment_params, Workload};

@@ -1,0 +1,88 @@
+//! Error type of the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the Sampler algorithm and the message-reduction schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter violates the requirements stated by the paper (e.g.
+    /// `k < 1` or `h < 1`).
+    InvalidParameter {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+    /// An error surfaced from the graph substrate.
+    Graph(freelunch_graph::GraphError),
+    /// An error surfaced from the synchronous runtime.
+    Runtime(freelunch_runtime::RuntimeError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CoreError::Graph(err) => write!(f, "graph error: {err}"),
+            CoreError::Runtime(err) => write!(f, "runtime error: {err}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(err) => Some(err),
+            CoreError::Runtime(err) => Some(err),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<freelunch_graph::GraphError> for CoreError {
+    fn from(err: freelunch_graph::GraphError) -> Self {
+        CoreError::Graph(err)
+    }
+}
+
+impl From<freelunch_runtime::RuntimeError> for CoreError {
+    fn from(err: freelunch_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(err)
+    }
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidParameter`].
+    pub fn invalid_parameter(reason: impl Into<String>) -> Self {
+        CoreError::InvalidParameter { reason: reason.into() }
+    }
+}
+
+/// Result alias used throughout the core crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let err = CoreError::invalid_parameter("k must be at least 1");
+        assert!(err.to_string().contains("k must be at least 1"));
+        assert!(err.source().is_none());
+
+        let graph_err: CoreError =
+            freelunch_graph::GraphError::invalid_parameter("bad").into();
+        assert!(graph_err.source().is_some());
+
+        let runtime_err: CoreError =
+            freelunch_runtime::RuntimeError::invalid_config("bad").into();
+        assert!(runtime_err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! # freelunch-core
+//!
+//! The paper's contribution: the **`Sampler`** spanner-construction
+//! algorithm (Theorem 2) and the **message-reduction schemes** built on top
+//! of it (Theorem 3, Lemma 12), from *"Message Reduction in the LOCAL Model
+//! Is a Free Lunch"* (Bitton, Emek, Izumi, Kutten; DISC 2019).
+//!
+//! * [`sampler`] — the hierarchical node-sampling spanner construction,
+//!   with faithful centralized execution, Section 5 distributed cost
+//!   accounting, a runtime-backed level-0 protocol and Figure-1 traces;
+//! * [`spanner_api`] — the [`SpannerAlgorithm`](spanner_api::SpannerAlgorithm)
+//!   trait shared with the baseline constructions;
+//! * [`reduction`] — `t`-local broadcast over a spanner, the single-stage
+//!   and two-stage message-reduction schemes, and the machinery for
+//!   simulating arbitrary LOCAL algorithms with `o(m)` messages;
+//! * [`params`] — the `(k, h, c)` parameter space of Theorem 2.
+//!
+//! # Examples
+//!
+//! Construct a constant-stretch spanner of a dense graph and check how many
+//! messages the construction needed compared to the edge count:
+//!
+//! ```
+//! use freelunch_core::sampler::{ConstantPolicy, Sampler, SamplerParams};
+//! use freelunch_graph::generators::{complete_graph, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = complete_graph(&GeneratorConfig::new(200, 0))?;
+//! let params = SamplerParams::with_constants(
+//!     2,
+//!     4,
+//!     ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+//! )?;
+//! let outcome = Sampler::new(params).run(&graph, 7)?;
+//! // On a dense graph the spanner is much smaller than the graph itself.
+//! assert!(outcome.spanner_size() < graph.edge_count() / 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod params;
+pub mod reduction;
+pub mod sampler;
+pub mod spanner_api;
+
+pub use error::{CoreError, CoreResult};
+pub use params::{ConstantPolicy, FallbackPolicy, SamplerParams};
+pub use sampler::{Sampler, SamplerOutcome};
+pub use spanner_api::{SpannerAlgorithm, SpannerResult};

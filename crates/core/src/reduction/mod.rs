@@ -1,0 +1,31 @@
+//! Message-efficient simulation of LOCAL algorithms (Section 6 of the
+//! paper).
+//!
+//! The building block is the *`t`-local broadcast* task: every node `v`
+//! holds a message `M_v` and must deliver it to every node of its ball
+//! `B_{G,t}(v)`. Any `t`-round LOCAL algorithm can be simulated by a
+//! `t`-local broadcast (each node then re-computes its output locally from
+//! the gathered information), so a message-efficient `t`-local broadcast is
+//! a message-reduction scheme.
+//!
+//! * [`tlocal`] — flooding within distance `α·t` on an `α`-spanner,
+//!   with exact message/round accounting;
+//! * [`scheme`] — the single-stage scheme of Lemma 12 (first bullet):
+//!   `Sampler` spanner + spanner flooding;
+//! * [`two_stage`] — the two-stage scheme of Lemma 12 (second bullet):
+//!   `Sampler` spanner → simulate a second spanner construction on top of it
+//!   → flood on the second spanner;
+//! * [`simulate`] — end-to-end simulation of an arbitrary LOCAL algorithm
+//!   (given as a [`NodeProgram`](freelunch_runtime::NodeProgram)) together
+//!   with a correctness check that the `t`-ball information delivered by the
+//!   broadcast indeed determines every node's output.
+
+pub mod scheme;
+pub mod simulate;
+pub mod tlocal;
+pub mod two_stage;
+
+pub use scheme::{SamplerScheme, SchemeReport};
+pub use simulate::{simulate_with_spanner, SimulationReport};
+pub use tlocal::{t_local_broadcast, BroadcastOutcome};
+pub use two_stage::{TwoStageScheme, TwoStageReport};

@@ -1,0 +1,247 @@
+//! The `t`-local broadcast task (Section 6) realized by flooding on a
+//! spanner.
+//!
+//! Every node `v` starts with a token; after the broadcast every node of
+//! `B_{G,t}(v)` must hold `v`'s token. Given an `α`-spanner `H = (V, S)`,
+//! flooding for `α·t` rounds *in `H`* accomplishes this: any node at
+//! distance `≤ t` in `G` is at distance `≤ α·t` in `H`. Each node forwards
+//! (a bundle of) newly learned tokens over its incident spanner edges once
+//! per round, so at most `2·|S|` messages fly per round and the whole task
+//! costs at most `2·α·t·|S|` messages — independent of `|E|`.
+
+use crate::error::{CoreError, CoreResult};
+use freelunch_graph::traversal::ball;
+use freelunch_graph::{EdgeId, MultiGraph, NodeId};
+use freelunch_runtime::CostReport;
+use serde::{Deserialize, Serialize};
+
+/// A dense `n × n` bit matrix: row `v` records which tokens node `v` knows.
+#[derive(Debug, Clone)]
+struct BitMatrix {
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix { words_per_row, data: vec![0; n * words_per_row] }
+    }
+
+    fn set(&mut self, row: usize, column: usize) -> bool {
+        let word = row * self.words_per_row + column / 64;
+        let mask = 1u64 << (column % 64);
+        let was_set = self.data[word] & mask != 0;
+        self.data[word] |= mask;
+        !was_set
+    }
+
+    fn count_row(&self, row: usize) -> usize {
+        let start = row * self.words_per_row;
+        self.data[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Result of a flooding run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastOutcome {
+    /// Rounds and messages spent by the flooding itself (spanner
+    /// construction is *not* included; schemes add it separately).
+    pub cost: CostReport,
+    /// Radius of the flooding (`α·t` for a `t`-local broadcast on an
+    /// `α`-spanner).
+    pub radius: u32,
+    /// For every node, the number of distinct tokens it holds at the end.
+    pub tokens_received: Vec<usize>,
+    /// Number of edges (with multiplicity) of the flooding subgraph.
+    pub subgraph_edges: usize,
+    #[serde(skip)]
+    known: Option<KnownTokens>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KnownTokens {
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BroadcastOutcome {
+    /// Returns `true` if node `holder` ended up with the token of `source`.
+    pub fn holds_token(&self, holder: NodeId, source: NodeId) -> bool {
+        match &self.known {
+            Some(known) => {
+                let word = holder.index() * known.words_per_row + source.index() / 64;
+                known.data[word] & (1u64 << (source.index() % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Verifies the `t`-local broadcast specification: for every node `v`
+    /// and every node `u ∈ B_{G,t}(v)`, `u` holds `v`'s token. Returns the
+    /// number of (holder, source) violations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from the ball computations.
+    pub fn coverage_violations(&self, graph: &MultiGraph, t: u32) -> CoreResult<usize> {
+        let mut violations = 0;
+        for source in graph.nodes() {
+            for holder in ball(graph, source, t)? {
+                if !self.holds_token(holder, source) {
+                    violations += 1;
+                }
+            }
+        }
+        Ok(violations)
+    }
+}
+
+/// Floods every node's token through the subgraph spanned by `subgraph_edges`
+/// for exactly `radius` rounds, counting messages exactly: a node that
+/// learned at least one new token in the previous round sends one (bundled)
+/// message over each of its subgraph edges.
+///
+/// # Errors
+///
+/// Returns an error if any edge ID is unknown or the graph is empty.
+pub fn flood_on_subgraph(
+    graph: &MultiGraph,
+    subgraph_edges: impl IntoIterator<Item = EdgeId>,
+    radius: u32,
+) -> CoreResult<BroadcastOutcome> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(CoreError::invalid_parameter("the graph has no nodes"));
+    }
+    let subgraph = graph.edge_subgraph(subgraph_edges)?;
+
+    let mut known = BitMatrix::new(n);
+    let mut fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        known.set(v, v);
+        fresh[v].push(v as u32);
+    }
+
+    let mut messages = 0u64;
+    for _round in 0..radius {
+        let mut next_fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if fresh[v].is_empty() {
+                continue;
+            }
+            let incident = subgraph.incident_edges(NodeId::from_usize(v));
+            // One bundled message per incident subgraph edge.
+            messages += incident.len() as u64;
+            for ie in incident {
+                let u = ie.neighbor.index();
+                for &token in &fresh[v] {
+                    if known.set(u, token as usize) {
+                        next_fresh[u].push(token);
+                    }
+                }
+            }
+        }
+        fresh = next_fresh;
+    }
+
+    let tokens_received = (0..n).map(|v| known.count_row(v)).collect();
+    Ok(BroadcastOutcome {
+        cost: CostReport { rounds: u64::from(radius), messages },
+        radius,
+        tokens_received,
+        subgraph_edges: subgraph.edge_count(),
+        known: Some(KnownTokens { words_per_row: known.words_per_row, data: known.data }),
+    })
+}
+
+/// The `t`-local broadcast of Lemma 12: flooding within distance
+/// `stretch · t` on a `stretch`-spanner given by `spanner_edges`.
+///
+/// # Errors
+///
+/// Returns an error if `stretch` is zero or an edge ID is unknown.
+pub fn t_local_broadcast(
+    graph: &MultiGraph,
+    spanner_edges: impl IntoIterator<Item = EdgeId>,
+    t: u32,
+    stretch: u32,
+) -> CoreResult<BroadcastOutcome> {
+    if stretch == 0 {
+        return Err(CoreError::invalid_parameter("the stretch must be at least 1"));
+    }
+    flood_on_subgraph(graph, spanner_edges, stretch.saturating_mul(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freelunch_graph::generators::{connected_erdos_renyi, cycle_graph, GeneratorConfig};
+
+    #[test]
+    fn flooding_on_full_graph_covers_balls_exactly() {
+        let graph = cycle_graph(&GeneratorConfig::new(10, 0)).unwrap();
+        let outcome = t_local_broadcast(&graph, graph.edge_ids(), 2, 1).unwrap();
+        assert_eq!(outcome.coverage_violations(&graph, 2).unwrap(), 0);
+        // On a cycle, |B(v, 2)| = 5 for every v.
+        assert!(outcome.tokens_received.iter().all(|&c| c == 5));
+        assert_eq!(outcome.cost.rounds, 2);
+        // Round 1: every node sends over both edges (20 messages); round 2 the
+        // same (every node learned 2 new tokens in round 1).
+        assert_eq!(outcome.cost.messages, 40);
+    }
+
+    #[test]
+    fn flooding_on_a_spanner_needs_the_stretch_factor() {
+        // Spanner = cycle minus one edge (stretch n−1 for that edge); with
+        // radius t·1 coverage fails, with a large enough radius it succeeds.
+        let graph = cycle_graph(&GeneratorConfig::new(8, 0)).unwrap();
+        let spanner: Vec<EdgeId> = graph.edge_ids().filter(|e| e.raw() != 7).collect();
+        let too_short = t_local_broadcast(&graph, spanner.iter().copied(), 1, 1).unwrap();
+        assert!(too_short.coverage_violations(&graph, 1).unwrap() > 0);
+        let long_enough = t_local_broadcast(&graph, spanner.iter().copied(), 1, 7).unwrap();
+        assert_eq!(long_enough.coverage_violations(&graph, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn message_count_is_bounded_by_two_s_per_round() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(60, 3), 0.3).unwrap();
+        let spanner: Vec<EdgeId> = graph.edge_ids().collect();
+        let t = 3;
+        let outcome = t_local_broadcast(&graph, spanner.iter().copied(), t, 1).unwrap();
+        assert!(outcome.cost.messages <= 2 * spanner.len() as u64 * u64::from(t));
+        assert_eq!(outcome.subgraph_edges, spanner.len());
+    }
+
+    #[test]
+    fn radius_zero_sends_nothing() {
+        let graph = cycle_graph(&GeneratorConfig::new(5, 0)).unwrap();
+        let outcome = flood_on_subgraph(&graph, graph.edge_ids(), 0).unwrap();
+        assert_eq!(outcome.cost.messages, 0);
+        assert!(outcome.tokens_received.iter().all(|&c| c == 1));
+        // Every node trivially holds its own token.
+        assert_eq!(outcome.coverage_violations(&graph, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let graph = cycle_graph(&GeneratorConfig::new(5, 0)).unwrap();
+        assert!(t_local_broadcast(&graph, graph.edge_ids(), 1, 0).is_err());
+        assert!(flood_on_subgraph(&MultiGraph::new(0), std::iter::empty(), 1).is_err());
+        assert!(flood_on_subgraph(&graph, [EdgeId::new(77)], 1).is_err());
+    }
+
+    #[test]
+    fn holds_token_reports_exact_knowledge() {
+        let graph = cycle_graph(&GeneratorConfig::new(6, 0)).unwrap();
+        let outcome = flood_on_subgraph(&graph, graph.edge_ids(), 1).unwrap();
+        let v0 = NodeId::new(0);
+        assert!(outcome.holds_token(v0, v0));
+        assert!(outcome.holds_token(v0, NodeId::new(1)));
+        assert!(outcome.holds_token(v0, NodeId::new(5)));
+        assert!(!outcome.holds_token(v0, NodeId::new(3)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic graph families with known structure.
+
+use super::GeneratorConfig;
+use crate::error::{GraphError, GraphResult};
+use crate::multigraph::MultiGraph;
+use crate::NodeId;
+
+/// Path `0 – 1 – … – (n-1)`.
+///
+/// # Errors
+///
+/// Returns an error if fewer than one node is requested.
+pub fn path_graph(config: &GeneratorConfig) -> GraphResult<MultiGraph> {
+    config.require_at_least(1)?;
+    let mut graph = MultiGraph::with_capacity(config.nodes, config.nodes.saturating_sub(1));
+    for i in 1..config.nodes {
+        graph.add_edge(NodeId::from_usize(i - 1), NodeId::from_usize(i))?;
+    }
+    Ok(graph)
+}
+
+/// Cycle on `n ≥ 3` nodes.
+///
+/// # Errors
+///
+/// Returns an error if fewer than three nodes are requested.
+pub fn cycle_graph(config: &GeneratorConfig) -> GraphResult<MultiGraph> {
+    config.require_at_least(3)?;
+    let mut graph = path_graph(config)?;
+    graph.add_edge(NodeId::from_usize(config.nodes - 1), NodeId::new(0))?;
+    Ok(graph)
+}
+
+/// Complete graph `K_n` — the densest workload (`m = n(n-1)/2`), where the
+/// paper's `o(m)` message bound is most dramatic.
+///
+/// # Errors
+///
+/// Returns an error if fewer than one node is requested.
+pub fn complete_graph(config: &GeneratorConfig) -> GraphResult<MultiGraph> {
+    config.require_at_least(1)?;
+    let n = config.nodes;
+    let mut graph = MultiGraph::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Star with node 0 as the center.
+///
+/// # Errors
+///
+/// Returns an error if fewer than two nodes are requested.
+pub fn star_graph(config: &GeneratorConfig) -> GraphResult<MultiGraph> {
+    config.require_at_least(2)?;
+    let mut graph = MultiGraph::with_capacity(config.nodes, config.nodes - 1);
+    for i in 1..config.nodes {
+        graph.add_edge(NodeId::new(0), NodeId::from_usize(i))?;
+    }
+    Ok(graph)
+}
+
+/// Balanced binary tree with `n` nodes (node `i` is the child of
+/// `(i - 1) / 2`).
+///
+/// # Errors
+///
+/// Returns an error if fewer than one node is requested.
+pub fn balanced_binary_tree(config: &GeneratorConfig) -> GraphResult<MultiGraph> {
+    config.require_at_least(1)?;
+    let mut graph = MultiGraph::with_capacity(config.nodes, config.nodes.saturating_sub(1));
+    for i in 1..config.nodes {
+        graph.add_edge(NodeId::from_usize((i - 1) / 2), NodeId::from_usize(i))?;
+    }
+    Ok(graph)
+}
+
+/// Two-dimensional torus with `rows × cols` nodes (wrap-around grid).
+///
+/// Node `(r, c)` has index `r * cols + c`.
+///
+/// # Errors
+///
+/// Returns an error if either dimension is smaller than 3 (smaller wraps
+/// would create parallel edges or self-loops).
+pub fn torus_2d(rows: usize, cols: usize) -> GraphResult<MultiGraph> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::invalid_parameter(
+            "torus dimensions must both be at least 3 to avoid parallel wrap edges",
+        ));
+    }
+    let n = rows * cols;
+    let mut graph = MultiGraph::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| NodeId::from_usize(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            graph.add_edge(id(r, c), id(r, (c + 1) % cols))?;
+            graph.add_edge(id(r, c), id((r + 1) % rows, c))?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Hypercube `Q_d` on `2^d` nodes; nodes are adjacent iff their indices
+/// differ in exactly one bit.
+///
+/// # Errors
+///
+/// Returns an error if `dimension` is zero or larger than 20 (more than a
+/// million nodes is outside the scope of the simulator).
+pub fn hypercube(dimension: u32) -> GraphResult<MultiGraph> {
+    if dimension == 0 || dimension > 20 {
+        return Err(GraphError::invalid_parameter("hypercube dimension must be in 1..=20"));
+    }
+    let n = 1usize << dimension;
+    let mut graph = MultiGraph::with_capacity(n, n * dimension as usize / 2);
+    for u in 0..n {
+        for bit in 0..dimension {
+            let v = u ^ (1usize << bit);
+            if v > u {
+                graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter_exact, is_connected};
+
+    fn cfg(n: usize) -> GeneratorConfig {
+        GeneratorConfig::new(n, 0)
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path_graph(&cfg(10)).unwrap();
+        assert_eq!(g.edge_count(), 9);
+        assert!(g.is_simple());
+        assert_eq!(diameter_exact(&g).unwrap(), 9);
+        let single = path_graph(&cfg(1)).unwrap();
+        assert_eq!(single.edge_count(), 0);
+        assert!(path_graph(&cfg(0)).is_err());
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle_graph(&cfg(8)).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(diameter_exact(&g).unwrap(), 4);
+        assert!(cycle_graph(&cfg(2)).is_err());
+    }
+
+    #[test]
+    fn complete_graph_properties() {
+        let g = complete_graph(&cfg(7)).unwrap();
+        assert_eq!(g.edge_count(), 21);
+        assert!(g.nodes().all(|v| g.degree(v) == 6));
+        assert_eq!(diameter_exact(&g).unwrap(), 1);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star_graph(&cfg(9)).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(NodeId::new(0)), 8);
+        assert_eq!(diameter_exact(&g).unwrap(), 2);
+        assert!(star_graph(&cfg(1)).is_err());
+    }
+
+    #[test]
+    fn binary_tree_properties() {
+        let g = balanced_binary_tree(&cfg(15)).unwrap();
+        assert_eq!(g.edge_count(), 14);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn torus_properties() {
+        let g = torus_2d(4, 5).unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.is_simple());
+        assert!(is_connected(&g));
+        assert!(torus_2d(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_properties() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(diameter_exact(&g).unwrap(), 4);
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(21).is_err());
+    }
+}

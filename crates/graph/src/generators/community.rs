@@ -1,0 +1,177 @@
+//! Graphs with planted community structure.
+//!
+//! These are the topologies where message reduction matters most: dense
+//! communities mean `m = Θ(n²/κ)` while the information a LOCAL algorithm
+//! needs is mostly local, so flooding every edge is maximally wasteful.
+
+use super::GeneratorConfig;
+use crate::error::{GraphError, GraphResult};
+use crate::multigraph::MultiGraph;
+use crate::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the planted-partition (stochastic block) model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantedPartitionParams {
+    /// Number of equally sized communities.
+    pub communities: usize,
+    /// Probability of an edge inside a community.
+    pub intra_probability: f64,
+    /// Probability of an edge between communities.
+    pub inter_probability: f64,
+}
+
+impl PlantedPartitionParams {
+    /// Creates a parameter set, validating the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either probability is outside `[0, 1]` or there
+    /// are no communities.
+    pub fn new(communities: usize, intra_probability: f64, inter_probability: f64) -> GraphResult<Self> {
+        if communities == 0 {
+            return Err(GraphError::invalid_parameter("need at least one community"));
+        }
+        for (name, p) in [("intra", intra_probability), ("inter", inter_probability)] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(GraphError::invalid_parameter(format!(
+                    "{name} probability must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        Ok(PlantedPartitionParams { communities, intra_probability, inter_probability })
+    }
+}
+
+/// Planted-partition graph: nodes are split into `communities` equal blocks
+/// (the last block absorbs the remainder); intra-block pairs are connected
+/// with `intra_probability`, inter-block pairs with `inter_probability`.
+/// A Hamiltonian path inside each block plus one edge between consecutive
+/// blocks guarantees connectivity.
+///
+/// # Errors
+///
+/// Returns an error if the parameters are invalid or the block size would be
+/// zero.
+pub fn planted_partition(
+    config: &GeneratorConfig,
+    params: &PlantedPartitionParams,
+) -> GraphResult<MultiGraph> {
+    config.require_at_least(params.communities)?;
+    let n = config.nodes;
+    let kappa = params.communities;
+    let block = n / kappa;
+    if block == 0 {
+        return Err(GraphError::invalid_parameter("each community must contain at least one node"));
+    }
+    let community_of = |v: usize| (v / block).min(kappa - 1);
+
+    let mut rng = config.rng();
+    let mut graph = MultiGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = community_of(u) == community_of(v);
+            // Backbone edges guaranteeing connectivity: consecutive nodes in a
+            // block, and the first nodes of consecutive blocks.
+            let backbone = (v == u + 1 && same)
+                || (same == false && u == community_of(u) * block && v == community_of(v) * block);
+            let p = if same { params.intra_probability } else { params.inter_probability };
+            if backbone || rng.gen_bool(p) {
+                graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Dumbbell graph: two cliques of `clique_size` nodes joined by a path
+/// through the remaining `n − 2·clique_size` nodes (the path may be empty,
+/// in which case the cliques are joined directly).
+///
+/// # Errors
+///
+/// Returns an error if `2·clique_size` exceeds the node count or either
+/// clique would be empty.
+pub fn dumbbell(config: &GeneratorConfig, clique_size: usize) -> GraphResult<MultiGraph> {
+    let n = config.nodes;
+    if clique_size == 0 {
+        return Err(GraphError::invalid_parameter("clique size must be positive"));
+    }
+    if 2 * clique_size > n {
+        return Err(GraphError::invalid_parameter(format!(
+            "two cliques of size {clique_size} do not fit in {n} nodes"
+        )));
+    }
+    let mut graph = MultiGraph::new(n);
+    // Left clique: nodes [0, clique_size); right clique: [n - clique_size, n).
+    for u in 0..clique_size {
+        for v in (u + 1)..clique_size {
+            graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+        }
+    }
+    let right_start = n - clique_size;
+    for u in right_start..n {
+        for v in (u + 1)..n {
+            graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+        }
+    }
+    // Bridge path through the middle nodes (if any), otherwise a direct edge.
+    let mut previous = clique_size - 1;
+    for middle in clique_size..right_start {
+        graph.add_edge(NodeId::from_usize(previous), NodeId::from_usize(middle))?;
+        previous = middle;
+    }
+    graph.add_edge(NodeId::from_usize(previous), NodeId::from_usize(right_start))?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter_exact, is_connected};
+
+    #[test]
+    fn planted_partition_shape() {
+        let params = PlantedPartitionParams::new(4, 0.5, 0.01).unwrap();
+        let g = planted_partition(&GeneratorConfig::new(120, 3), &params).unwrap();
+        assert_eq!(g.node_count(), 120);
+        assert!(is_connected(&g));
+        assert!(g.is_simple());
+        // Density should be dominated by intra-community edges: expected
+        // intra ≈ 4 * C(30,2) * 0.5 = 870, inter ≈ C(120,2)-4*C(30,2) times 0.01 ≈ 54.
+        let m = g.edge_count() as f64;
+        assert!(m > 600.0 && m < 1300.0, "unexpected edge count {m}");
+    }
+
+    #[test]
+    fn planted_partition_parameter_validation() {
+        assert!(PlantedPartitionParams::new(0, 0.5, 0.1).is_err());
+        assert!(PlantedPartitionParams::new(2, 1.5, 0.1).is_err());
+        assert!(PlantedPartitionParams::new(2, 0.5, -0.1).is_err());
+        let params = PlantedPartitionParams::new(5, 0.5, 0.1).unwrap();
+        assert!(planted_partition(&GeneratorConfig::new(3, 1), &params).is_err());
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(&GeneratorConfig::new(25, 10), 10).unwrap();
+        assert!(is_connected(&g));
+        // Two K_10 cliques plus a 5-node bridge path (6 bridge edges).
+        assert_eq!(g.edge_count(), 45 + 45 + 6);
+        assert!(diameter_exact(&g).unwrap() >= 6);
+    }
+
+    #[test]
+    fn dumbbell_without_middle_nodes() {
+        let g = dumbbell(&GeneratorConfig::new(8, 4), 4).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 6 + 6 + 1);
+    }
+
+    #[test]
+    fn dumbbell_parameter_validation() {
+        assert!(dumbbell(&GeneratorConfig::new(5, 1), 3).is_err());
+        assert!(dumbbell(&GeneratorConfig::new(5, 1), 0).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Graph generators used as workloads for the experiments.
+//!
+//! The paper targets the regime `m ≫ n` (dense communication graphs), where
+//! sending `Ω(m)` messages is expensive; its guarantees must nevertheless
+//! hold on any connected graph. The generators therefore cover:
+//!
+//! * deterministic topologies with known structure ([`classic`]): paths,
+//!   cycles, complete graphs, stars, balanced trees, 2-D tori, hypercubes;
+//! * random graphs ([`random`]): Erdős–Rényi `G(n, p)` and `G(n, m)`,
+//!   random regular graphs, and connected variants;
+//! * heavy-tailed degree distributions ([`scale_free`]): Barabási–Albert
+//!   preferential attachment;
+//! * community structure ([`community`]): planted-partition graphs and
+//!   dumbbells (two dense cliques joined by a sparse bridge) — the worst
+//!   cases for naive flooding-based simulation.
+//!
+//! All generators are deterministic functions of a [`GeneratorConfig`]
+//! (node count + seed), so every experiment row is reproducible.
+
+mod classic;
+mod community;
+mod random;
+mod scale_free;
+
+pub use classic::{balanced_binary_tree, complete_graph, cycle_graph, hypercube, path_graph, star_graph, torus_2d};
+pub use community::{dumbbell, planted_partition, PlantedPartitionParams};
+pub use random::{connected_erdos_renyi, erdos_renyi, gnm_random, random_regular};
+pub use scale_free::barabasi_albert;
+
+use crate::error::{GraphError, GraphResult};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Common configuration shared by all generators: the number of nodes and the
+/// seed of the deterministic random stream.
+///
+/// # Examples
+///
+/// ```
+/// use freelunch_graph::generators::{erdos_renyi, GeneratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = GeneratorConfig::new(64, 42);
+/// let a = erdos_renyi(&config, 0.3)?;
+/// let b = erdos_renyi(&config, 0.3)?;
+/// assert_eq!(a.edge_count(), b.edge_count()); // same seed ⇒ same graph
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of nodes of the generated graph.
+    pub nodes: usize,
+    /// Seed of the generator's random stream (ignored by deterministic
+    /// topologies).
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration for `nodes` nodes with the given `seed`.
+    pub const fn new(nodes: usize, seed: u64) -> Self {
+        GeneratorConfig { nodes, seed }
+    }
+
+    /// Instantiates the deterministic RNG for this configuration.
+    pub(crate) fn rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed)
+    }
+
+    /// Validates that the configuration asks for at least `min_nodes` nodes.
+    pub(crate) fn require_at_least(&self, min_nodes: usize) -> GraphResult<()> {
+        if self.nodes < min_nodes {
+            Err(GraphError::invalid_parameter(format!(
+                "generator requires at least {min_nodes} nodes, got {}",
+                self.nodes
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn config_is_deterministic() {
+        let config = GeneratorConfig::new(50, 7);
+        let a = erdos_renyi(&config, 0.2).unwrap();
+        let b = erdos_renyi(&config, 0.2).unwrap();
+        let edges_a: Vec<_> = a.edges().map(|e| (e.u, e.v)).collect();
+        let edges_b: Vec<_> = b.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(&GeneratorConfig::new(60, 1), 0.3).unwrap();
+        let b = erdos_renyi(&GeneratorConfig::new(60, 2), 0.3).unwrap();
+        let edges_a: Vec<_> = a.edges().map(|e| (e.u, e.v)).collect();
+        let edges_b: Vec<_> = b.edges().map(|e| (e.u, e.v)).collect();
+        assert_ne!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn require_at_least_enforced() {
+        let config = GeneratorConfig::new(1, 0);
+        assert!(config.require_at_least(2).is_err());
+        assert!(config.require_at_least(1).is_ok());
+    }
+
+    #[test]
+    fn all_generators_produce_graphs_with_requested_node_count() {
+        let config = GeneratorConfig::new(32, 3);
+        assert_eq!(path_graph(&config).unwrap().node_count(), 32);
+        assert_eq!(cycle_graph(&config).unwrap().node_count(), 32);
+        assert_eq!(complete_graph(&config).unwrap().node_count(), 32);
+        assert_eq!(star_graph(&config).unwrap().node_count(), 32);
+        assert_eq!(hypercube(5).unwrap().node_count(), 32);
+        assert_eq!(connected_erdos_renyi(&config, 0.1).unwrap().node_count(), 32);
+        assert_eq!(barabasi_albert(&config, 3).unwrap().node_count(), 32);
+    }
+
+    #[test]
+    fn connected_generators_are_connected() {
+        let config = GeneratorConfig::new(40, 11);
+        assert!(is_connected(&connected_erdos_renyi(&config, 0.05).unwrap()));
+        assert!(is_connected(&barabasi_albert(&config, 2).unwrap()));
+        assert!(is_connected(&complete_graph(&config).unwrap()));
+        assert!(is_connected(&dumbbell(&GeneratorConfig::new(41, 1), 15).unwrap()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Scale-free graphs via Barabási–Albert preferential attachment.
+
+use super::GeneratorConfig;
+use crate::error::{GraphError, GraphResult};
+use crate::multigraph::MultiGraph;
+use crate::NodeId;
+use rand::Rng;
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique on
+/// `attachment + 1` nodes, then every new node attaches to `attachment`
+/// distinct existing nodes chosen proportionally to their current degree.
+///
+/// The result is connected and simple, with a heavy-tailed degree
+/// distribution — a useful stress test because the `Sampler` edge-sampling
+/// process must cope with neighbors of wildly different "volumes".
+///
+/// # Errors
+///
+/// Returns an error if `attachment` is zero or at least the node count.
+pub fn barabasi_albert(config: &GeneratorConfig, attachment: usize) -> GraphResult<MultiGraph> {
+    config.require_at_least(2)?;
+    let n = config.nodes;
+    if attachment == 0 {
+        return Err(GraphError::invalid_parameter("attachment must be positive"));
+    }
+    if attachment >= n {
+        return Err(GraphError::invalid_parameter(format!(
+            "attachment {attachment} must be smaller than the node count {n}"
+        )));
+    }
+
+    let mut rng = config.rng();
+    let mut graph = MultiGraph::with_capacity(n, attachment * n);
+
+    // Seed clique on attachment + 1 nodes (or fewer if n is small).
+    let seed_size = (attachment + 1).min(n);
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
+        }
+    }
+
+    // Degree-proportional sampling via the repeated-endpoint list.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * attachment * n);
+    for edge in graph.edges() {
+        endpoint_pool.push(edge.u.index());
+        endpoint_pool.push(edge.v.index());
+    }
+
+    for new_node in seed_size..n {
+        let mut targets = std::collections::HashSet::with_capacity(attachment);
+        // Rejection-sample distinct targets; the pool is never empty because
+        // the seed clique has at least one edge.
+        let mut guard = 0usize;
+        while targets.len() < attachment.min(new_node) {
+            let pick = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            targets.insert(pick);
+            guard += 1;
+            if guard > 100 * attachment * (new_node + 1) {
+                return Err(GraphError::invalid_parameter(
+                    "preferential attachment failed to find distinct targets",
+                ));
+            }
+        }
+        let mut sorted: Vec<usize> = targets.into_iter().collect();
+        sorted.sort_unstable();
+        for target in sorted {
+            graph.add_edge(NodeId::from_usize(new_node), NodeId::from_usize(target))?;
+            endpoint_pool.push(new_node);
+            endpoint_pool.push(target);
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn basic_shape() {
+        let g = barabasi_albert(&GeneratorConfig::new(100, 5), 3).unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert!(g.is_simple());
+        assert!(is_connected(&g));
+        // Seed clique: 4 nodes, 6 edges; then 96 nodes × 3 edges.
+        assert_eq!(g.edge_count(), 6 + 96 * 3);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(&GeneratorConfig::new(300, 1), 2).unwrap();
+        let degrees = g.degree_sequence();
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        assert!(max >= 4 * median, "expected a heavy tail, max={max} median={median}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(barabasi_albert(&GeneratorConfig::new(10, 1), 0).is_err());
+        assert!(barabasi_albert(&GeneratorConfig::new(10, 1), 10).is_err());
+        assert!(barabasi_albert(&GeneratorConfig::new(1, 1), 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = barabasi_albert(&GeneratorConfig::new(80, 9), 2).unwrap();
+        let b = barabasi_albert(&GeneratorConfig::new(80, 9), 2).unwrap();
+        let ea: Vec<_> = a.edges().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,248 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! The LOCAL model variant studied in the paper assumes *unique edge IDs*
+//! known to both endpoints of every edge (Section 1.1, assumption (ii)).
+//! [`EdgeId`] is therefore a first-class identifier that survives cluster
+//! contraction: an edge of the cluster graph `G_{j+1}` keeps the ID of the
+//! crossing edge of `G_j` it corresponds to, and ultimately maps back to an
+//! edge of the original communication graph `G_0`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`MultiGraph`](crate::MultiGraph).
+///
+/// Nodes of an `n`-node graph are always the contiguous range `0..n`; the
+/// newtype exists to prevent accidental mixing with cluster indices or edge
+/// IDs.
+///
+/// # Examples
+///
+/// ```
+/// use freelunch_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Creates a node identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw index as `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`, suitable for indexing adjacency arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// Unique identifier of an edge.
+///
+/// Edge IDs are unique *within a graph and across all cluster graphs derived
+/// from it*: contracting a graph keeps the IDs of the surviving crossing
+/// edges. Both endpoints of an edge know its ID, which is exactly the model
+/// assumption the paper's `Sampler` algorithm exploits.
+///
+/// # Examples
+///
+/// ```
+/// use freelunch_graph::EdgeId;
+/// let e = EdgeId::new(42);
+/// assert_eq!(e.raw(), 42);
+/// assert_eq!(format!("{e}"), "e42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct EdgeId(u64);
+
+impl EdgeId {
+    /// Creates an edge identifier from its raw value.
+    #[inline]
+    pub const fn new(id: u64) -> Self {
+        EdgeId(id)
+    }
+
+    /// Returns the raw identifier.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as `usize` (for dense per-edge tables).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u64> for EdgeId {
+    fn from(value: u64) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl From<EdgeId> for u64 {
+    fn from(value: EdgeId) -> Self {
+        value.0
+    }
+}
+
+/// Identifier of a cluster in a cluster collection `C` (Section 2).
+///
+/// Clusters are indexed contiguously `0..l`; after contraction the cluster
+/// with `ClusterId(i)` becomes node `NodeId(i)` of the cluster graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ClusterId(u32);
+
+impl ClusterId {
+    /// Creates a cluster identifier from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ClusterId(index)
+    }
+
+    /// Creates a cluster identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        ClusterId(u32::try_from(index).expect("cluster index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the node of the cluster graph this cluster becomes after
+    /// contraction.
+    #[inline]
+    pub const fn as_node(self) -> NodeId {
+        NodeId::new(self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u32> for ClusterId {
+    fn from(value: u32) -> Self {
+        ClusterId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(17);
+        assert_eq!(v.raw(), 17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(NodeId::from(17u32), v);
+        assert_eq!(u32::from(v), 17);
+        assert_eq!(NodeId::from_usize(17), v);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(123456789);
+        assert_eq!(e.raw(), 123456789);
+        assert_eq!(EdgeId::from(123456789u64), e);
+        assert_eq!(u64::from(e), 123456789);
+    }
+
+    #[test]
+    fn cluster_id_becomes_node() {
+        let c = ClusterId::new(9);
+        assert_eq!(c.as_node(), NodeId::new(9));
+        assert_eq!(ClusterId::from_usize(9), c);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(EdgeId::new(7).to_string(), "e7");
+        assert_eq!(ClusterId::new(2).to_string(), "C2");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<NodeId> = (0..10).map(NodeId::new).collect();
+        assert_eq!(set.len(), 10);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(1) < EdgeId::new(2));
+        assert!(ClusterId::new(1) < ClusterId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+        assert_eq!(EdgeId::default(), EdgeId::new(0));
+        assert_eq!(ClusterId::default(), ClusterId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn from_usize_overflow_panics() {
+        let _ = NodeId::from_usize(usize::MAX);
+    }
+}

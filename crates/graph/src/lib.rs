@@ -1,0 +1,54 @@
+//! # freelunch-graph
+//!
+//! Graph substrate for the reproduction of *"Message Reduction in the LOCAL
+//! Model Is a Free Lunch"* (Bitton, Emek, Izumi, Kutten; DISC 2019).
+//!
+//! The crate provides everything the paper's algorithms assume about the
+//! communication graph:
+//!
+//! * [`MultiGraph`] — an undirected graph with **unique edge IDs** and
+//!   native support for **parallel edges**, matching the model assumption of
+//!   Section 1.1 and the cluster graphs of Section 2;
+//! * [`cluster`] — cluster collections and the cluster-graph contraction
+//!   `G(C)` used between the levels of the `Sampler` hierarchy;
+//! * [`traversal`] — BFS distances, balls `B_{G,t}(v)`, connectivity and
+//!   diameter computations;
+//! * [`spanner_check`] — verification that an edge set really is an
+//!   `α`-spanner (per-edge stretch) and estimation of pairwise stretch;
+//! * [`generators`] — deterministic and random graph families used as
+//!   experiment workloads.
+//!
+//! # Examples
+//!
+//! Build a dense random graph, take a subset of its edges, and measure the
+//! stretch of the resulting subgraph:
+//!
+//! ```
+//! use freelunch_graph::generators::{connected_erdos_renyi, GeneratorConfig};
+//! use freelunch_graph::spanner_check::verify_edge_stretch;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = connected_erdos_renyi(&GeneratorConfig::new(100, 1), 0.3)?;
+//! // The full edge set is trivially a 1-spanner.
+//! let report = verify_edge_stretch(&graph, graph.edge_ids())?;
+//! assert!(report.satisfies(1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod error;
+pub mod generators;
+pub mod multigraph;
+pub mod spanner_check;
+pub mod traversal;
+
+mod ids;
+
+pub use error::{GraphError, GraphResult};
+pub use ids::{ClusterId, EdgeId, NodeId};
+pub use multigraph::{Edge, IncidentEdge, MultiGraph};

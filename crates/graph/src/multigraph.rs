@@ -1,0 +1,572 @@
+//! The [`MultiGraph`] substrate: an undirected graph with unique edge IDs and
+//! support for parallel edges.
+//!
+//! The paper's `Sampler` algorithm operates on a sequence `G_0, G_1, …, G_k`
+//! of graphs where `G_{j+1}` is the *cluster graph* induced by contracting
+//! clusters of `G_j`. Even when the communication graph `G_0` is simple, the
+//! cluster graphs typically contain edge multiplicities (Section 2), so the
+//! substrate must represent parallel edges natively and preserve unique edge
+//! IDs across contraction.
+
+use crate::error::{GraphError, GraphResult};
+use crate::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An undirected edge with its unique identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Unique identifier of the edge (known to both endpoints in the model).
+    pub id: EdgeId,
+    /// First endpoint.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Returns the endpoint different from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("{node} is not an endpoint of edge {}", self.id)
+        }
+    }
+
+    /// Returns `true` if `node` is one of the endpoints.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.u == node || self.v == node
+    }
+}
+
+/// An entry of a node's adjacency list: an incident edge together with the
+/// opposite endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IncidentEdge {
+    /// The incident edge.
+    pub edge: EdgeId,
+    /// The other endpoint of the edge.
+    pub neighbor: NodeId,
+}
+
+/// An undirected multigraph with unique edge identifiers.
+///
+/// Nodes are the contiguous range `0..node_count`. Parallel edges are
+/// allowed; self-loops are rejected (a node never needs to send itself a
+/// message in the LOCAL model). Edge identifiers may either be assigned
+/// automatically ([`MultiGraph::add_edge`]) or supplied explicitly
+/// ([`MultiGraph::add_edge_with_id`]) — the latter is what cluster
+/// contraction uses to preserve IDs across levels.
+///
+/// # Examples
+///
+/// ```
+/// use freelunch_graph::{MultiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = MultiGraph::new(3);
+/// let e01 = g.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// let e12 = g.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// // a parallel edge between the same endpoints:
+/// let e01b = g.add_edge(NodeId::new(0), NodeId::new(1))?;
+///
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 3);
+/// assert_eq!(g.distinct_neighbors(NodeId::new(1)).len(), 2);
+/// assert_eq!(g.edges_between(NodeId::new(0), NodeId::new(1)), vec![e01, e01b]);
+/// assert_eq!(g.other_endpoint(e12, NodeId::new(2))?, NodeId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultiGraph {
+    node_count: usize,
+    edges: Vec<Edge>,
+    edge_index: HashMap<EdgeId, usize>,
+    adjacency: Vec<Vec<IncidentEdge>>,
+    next_edge_id: u64,
+}
+
+impl MultiGraph {
+    /// Creates an empty graph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        MultiGraph {
+            node_count,
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
+            adjacency: vec![Vec::new(); node_count],
+            next_edge_id: 0,
+        }
+    }
+
+    /// Creates an empty graph with room for `edge_capacity` edges.
+    pub fn with_capacity(node_count: usize, edge_capacity: usize) -> Self {
+        MultiGraph {
+            node_count,
+            edges: Vec::with_capacity(edge_capacity),
+            edge_index: HashMap::with_capacity(edge_capacity),
+            adjacency: vec![Vec::new(); node_count],
+            next_edge_id: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, assigning sequential edge IDs in the
+    /// order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of range or an edge is a
+    /// self-loop.
+    pub fn from_edges(
+        node_count: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> GraphResult<Self> {
+        let mut graph = MultiGraph::new(node_count);
+        for (u, v) in edges {
+            graph.add_edge(u, v)?;
+        }
+        Ok(graph)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges, counting multiplicities.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterator over all node identifiers `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId::new)
+    }
+
+    /// Iterator over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Iterator over all edge identifiers in insertion order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().map(|e| e.id)
+    }
+
+    /// Checks that `node` is a valid node of this graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] otherwise.
+    pub fn check_node(&self, node: NodeId) -> GraphResult<()> {
+        if node.index() < self.node_count {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node, node_count: self.node_count })
+        }
+    }
+
+    /// Adds an edge between `u` and `v`, assigning the next free edge ID.
+    ///
+    /// Parallel edges are permitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> GraphResult<EdgeId> {
+        let id = EdgeId::new(self.next_edge_id);
+        self.add_edge_with_id(id, u, v)?;
+        Ok(id)
+    }
+
+    /// Adds an edge with an explicitly chosen identifier.
+    ///
+    /// Cluster contraction uses this to let edges of `G_{j+1}` keep the IDs of
+    /// the crossing edges of `G_j` they correspond to.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, `u == v`, or the
+    /// identifier is already present.
+    pub fn add_edge_with_id(&mut self, id: EdgeId, u: NodeId, v: NodeId) -> GraphResult<()> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.edge_index.contains_key(&id) {
+            return Err(GraphError::DuplicateEdgeId { edge: id });
+        }
+        let idx = self.edges.len();
+        self.edges.push(Edge { id, u, v });
+        self.edge_index.insert(id, idx);
+        self.adjacency[u.index()].push(IncidentEdge { edge: id, neighbor: v });
+        self.adjacency[v.index()].push(IncidentEdge { edge: id, neighbor: u });
+        self.next_edge_id = self.next_edge_id.max(id.raw() + 1);
+        Ok(())
+    }
+
+    /// Returns `true` if the graph contains an edge with identifier `id`.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.edge_index.contains_key(&id)
+    }
+
+    /// Returns the edge with identifier `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if no such edge exists.
+    pub fn edge(&self, id: EdgeId) -> GraphResult<&Edge> {
+        self.edge_index
+            .get(&id)
+            .map(|&idx| &self.edges[idx])
+            .ok_or(GraphError::UnknownEdge { edge: id })
+    }
+
+    /// Returns the endpoints of an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if no such edge exists.
+    pub fn endpoints(&self, id: EdgeId) -> GraphResult<(NodeId, NodeId)> {
+        self.edge(id).map(|e| (e.u, e.v))
+    }
+
+    /// Returns the endpoint of edge `id` that is not `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if the edge does not exist, or
+    /// [`GraphError::NodeOutOfRange`] if `node` is not an endpoint.
+    pub fn other_endpoint(&self, id: EdgeId, node: NodeId) -> GraphResult<NodeId> {
+        let edge = self.edge(id)?;
+        if edge.u == node {
+            Ok(edge.v)
+        } else if edge.v == node {
+            Ok(edge.u)
+        } else {
+            Err(GraphError::NodeOutOfRange { node, node_count: self.node_count })
+        }
+    }
+
+    /// Degree of `node`, counting parallel edges with multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// The adjacency list of `node`: every incident edge with its opposite
+    /// endpoint, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn incident_edges(&self, node: NodeId) -> &[IncidentEdge] {
+        &self.adjacency[node.index()]
+    }
+
+    /// The set of distinct neighbors of `node`, sorted by node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn distinct_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut neighbors: Vec<NodeId> =
+            self.adjacency[node.index()].iter().map(|ie| ie.neighbor).collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        neighbors
+    }
+
+    /// Number of distinct neighbors of `node` (`|N_j(v)|` in the paper).
+    pub fn distinct_neighbor_count(&self, node: NodeId) -> usize {
+        self.distinct_neighbors(node).len()
+    }
+
+    /// All edges connecting `u` and `v` (`E_j(u, v)` in the paper), in
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|ie| ie.neighbor == v)
+            .map(|ie| ie.edge)
+            .collect()
+    }
+
+    /// Returns `true` if at least one edge connects `u` and `v`.
+    pub fn has_edge_between(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency[u.index()].iter().any(|ie| ie.neighbor == v)
+    }
+
+    /// Returns `true` if the graph has neither parallel edges nor (by
+    /// construction) self-loops.
+    pub fn is_simple(&self) -> bool {
+        for node in self.nodes() {
+            let mut neighbors: Vec<NodeId> =
+                self.adjacency[node.index()].iter().map(|ie| ie.neighbor).collect();
+            neighbors.sort_unstable();
+            let before = neighbors.len();
+            neighbors.dedup();
+            if neighbors.len() != before {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.node_count as f64
+        }
+    }
+
+    /// The degree sequence, sorted descending.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut degrees: Vec<usize> = self.adjacency.iter().map(Vec::len).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        degrees
+    }
+
+    /// Returns a simple graph with the same connectivity: for every pair of
+    /// adjacent nodes, exactly one representative edge (the one with the
+    /// smallest ID) is kept with its original identifier.
+    pub fn to_simple(&self) -> MultiGraph {
+        let mut keep: HashMap<(NodeId, NodeId), EdgeId> = HashMap::new();
+        for edge in &self.edges {
+            let key = if edge.u <= edge.v { (edge.u, edge.v) } else { (edge.v, edge.u) };
+            keep.entry(key).and_modify(|best| *best = (*best).min(edge.id)).or_insert(edge.id);
+        }
+        let mut kept: Vec<(EdgeId, NodeId, NodeId)> =
+            keep.into_iter().map(|((u, v), id)| (id, u, v)).collect();
+        kept.sort_unstable_by_key(|(id, _, _)| *id);
+        let mut simple = MultiGraph::new(self.node_count);
+        for (id, u, v) in kept {
+            simple
+                .add_edge_with_id(id, u, v)
+                .expect("edges of a valid graph remain valid when deduplicated");
+        }
+        simple
+    }
+
+    /// Returns the subgraph containing exactly the edges in `edge_ids`
+    /// (node set unchanged). Unknown edge IDs are reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if any requested edge is absent.
+    pub fn edge_subgraph(&self, edge_ids: impl IntoIterator<Item = EdgeId>) -> GraphResult<MultiGraph> {
+        let mut sub = MultiGraph::new(self.node_count);
+        let mut ids: Vec<EdgeId> = edge_ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let edge = self.edge(id)?;
+            sub.add_edge_with_id(edge.id, edge.u, edge.v)?;
+        }
+        Ok(sub)
+    }
+
+    /// Total number of (node, incident edge) pairs, i.e. `2m`. Useful for
+    /// message accounting sanity checks.
+    pub fn incidence_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn triangle() -> MultiGraph {
+        MultiGraph::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = MultiGraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.is_simple());
+        assert_eq!(g.nodes().count(), 5);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = MultiGraph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_assigns_sequential_ids() {
+        let g = triangle();
+        let ids: Vec<u64> = g.edge_ids().map(EdgeId::raw).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle();
+        for node in g.nodes() {
+            assert_eq!(g.degree(node), 2);
+            assert_eq!(g.distinct_neighbor_count(node), 2);
+        }
+        assert_eq!(g.distinct_neighbors(n(0)), vec![n(1), n(2)]);
+        assert_eq!(g.incidence_count(), 6);
+    }
+
+    #[test]
+    fn parallel_edges_are_supported() {
+        let mut g = MultiGraph::new(2);
+        let a = g.add_edge(n(0), n(1)).unwrap();
+        let b = g.add_edge(n(0), n(1)).unwrap();
+        let c = g.add_edge(n(1), n(0)).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(n(0)), 3);
+        assert_eq!(g.distinct_neighbor_count(n(0)), 1);
+        assert_eq!(g.edges_between(n(0), n(1)), vec![a, b, c]);
+        assert!(!g.is_simple());
+        assert!(g.has_edge_between(n(1), n(0)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = MultiGraph::new(2);
+        assert_eq!(g.add_edge(n(0), n(0)), Err(GraphError::SelfLoop { node: n(0) }));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        let mut g = MultiGraph::new(2);
+        let err = g.add_edge(n(0), n(5)).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: n(5), node_count: 2 });
+    }
+
+    #[test]
+    fn duplicate_edge_id_rejected() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge_with_id(EdgeId::new(7), n(0), n(1)).unwrap();
+        let err = g.add_edge_with_id(EdgeId::new(7), n(1), n(2)).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdgeId { edge: EdgeId::new(7) });
+    }
+
+    #[test]
+    fn explicit_ids_advance_auto_counter() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge_with_id(EdgeId::new(10), n(0), n(1)).unwrap();
+        let next = g.add_edge(n(1), n(2)).unwrap();
+        assert_eq!(next, EdgeId::new(11));
+    }
+
+    #[test]
+    fn endpoints_and_other_endpoint() {
+        let g = triangle();
+        let (u, v) = g.endpoints(EdgeId::new(0)).unwrap();
+        assert_eq!((u, v), (n(0), n(1)));
+        assert_eq!(g.other_endpoint(EdgeId::new(0), n(0)).unwrap(), n(1));
+        assert_eq!(g.other_endpoint(EdgeId::new(0), n(1)).unwrap(), n(0));
+        assert!(g.other_endpoint(EdgeId::new(0), n(2)).is_err());
+        assert!(g.endpoints(EdgeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = triangle();
+        assert!(g.contains_edge(EdgeId::new(2)));
+        assert!(!g.contains_edge(EdgeId::new(3)));
+        let edge = g.edge(EdgeId::new(1)).unwrap();
+        assert!(edge.touches(n(1)));
+        assert!(edge.touches(n(2)));
+        assert!(!edge.touches(n(0)));
+        assert_eq!(edge.other(n(1)), n(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = triangle();
+        let edge = *g.edge(EdgeId::new(0)).unwrap();
+        let _ = edge.other(n(2));
+    }
+
+    #[test]
+    fn to_simple_collapses_parallels() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        let s = g.to_simple();
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.is_simple());
+        // The smallest edge id between 0 and 1 survives.
+        assert_eq!(s.edges_between(n(0), n(1)), vec![EdgeId::new(0)]);
+    }
+
+    #[test]
+    fn edge_subgraph_selects_edges() {
+        let g = triangle();
+        let sub = g.edge_subgraph([EdgeId::new(0), EdgeId::new(2), EdgeId::new(0)]).unwrap();
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(sub.node_count(), 3);
+        assert!(sub.has_edge_between(n(0), n(1)));
+        assert!(sub.has_edge_between(n(0), n(2)));
+        assert!(!sub.has_edge_between(n(1), n(2)));
+        assert!(g.edge_subgraph([EdgeId::new(42)]).is_err());
+    }
+
+    #[test]
+    fn degree_sequence_sorted_descending() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        g.add_edge(n(0), n(3)).unwrap();
+        assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edges_propagates_errors() {
+        assert!(MultiGraph::from_edges(2, [(n(0), n(0))]).is_err());
+        assert!(MultiGraph::from_edges(2, [(n(0), n(3))]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # freelunch-runtime
+//!
+//! A synchronous LOCAL-model simulator with exact round and message
+//! accounting, used to execute and measure every distributed algorithm in
+//! the freelunch workspace.
+//!
+//! The model matches Section 1.1 of *"Message Reduction in the LOCAL Model
+//! Is a Free Lunch"*:
+//!
+//! * fully synchronous rounds; in each round a node may send one (unbounded)
+//!   message over each incident edge and receives all messages addressed to
+//!   it in that round;
+//! * nodes know an `O(1)`-approximate upper bound on `log n`
+//!   ([`knowledge::InitialKnowledge::log_n_upper_bound`]);
+//! * edges carry globally unique IDs known to both endpoints
+//!   ([`KnowledgeModel::UniqueEdgeIds`]); the classical `KT0` and `KT1`
+//!   variants are also available for baselines analysed under those models.
+//!
+//! Algorithms are written as [`NodeProgram`]s and executed by a [`Network`],
+//! which reports a [`CostReport`] (rounds + messages) and optional
+//! per-round / per-node metrics and message traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use freelunch_graph::generators::{cycle_graph, GeneratorConfig};
+//! use freelunch_runtime::{Context, Envelope, Network, NetworkConfig, NodeProgram};
+//!
+//! /// Every node broadcasts its ID once and counts distinct senders heard.
+//! struct Census { heard: usize }
+//!
+//! impl NodeProgram for Census {
+//!     type Message = u32;
+//!     fn init(&mut self, ctx: &mut Context<'_, u32>) {
+//!         let id = ctx.node().raw();
+//!         ctx.broadcast(id);
+//!     }
+//!     fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[Envelope<u32>]) {
+//!         self.heard += inbox.len();
+//!         ctx.halt();
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = cycle_graph(&GeneratorConfig::new(10, 0))?;
+//! let mut network = Network::new(&graph, NetworkConfig::with_seed(7), |_, _| Census { heard: 0 })?;
+//! network.run_until_halt(5)?;
+//! assert_eq!(network.cost().messages, 20); // 10 nodes × degree 2
+//! assert!(network.programs().iter().all(|p| p.heard == 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod knowledge;
+pub mod metrics;
+pub mod node;
+pub mod trace;
+
+pub use engine::{Network, NetworkConfig};
+pub use error::{RuntimeError, RuntimeResult};
+pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
+pub use metrics::{CostReport, ExecutionMetrics};
+pub use node::{Context, Envelope, NodeProgram};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,174 @@
+//! Cost accounting: the round and message complexities that the paper's
+//! theorems bound.
+//!
+//! Every execution path in the workspace — the real synchronous runtime, the
+//! Sampler cost emulation of Section 5, and every baseline — reports its cost
+//! through the same [`CostReport`] type so experiments compare like with
+//! like.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Summary of the cost of one distributed execution (or one phase of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Number of synchronous communication rounds used.
+    pub rounds: u64,
+    /// Total number of messages sent (each message over one edge in one
+    /// direction counts once, as in the paper's message-complexity measure).
+    pub messages: u64,
+}
+
+impl CostReport {
+    /// A zero-cost report.
+    pub const fn zero() -> Self {
+        CostReport { rounds: 0, messages: 0 }
+    }
+
+    /// Creates a report from explicit counts.
+    pub const fn new(rounds: u64, messages: u64) -> Self {
+        CostReport { rounds, messages }
+    }
+
+    /// Sequential composition: rounds add, messages add.
+    pub fn then(self, later: CostReport) -> CostReport {
+        CostReport { rounds: self.rounds + later.rounds, messages: self.messages + later.messages }
+    }
+
+    /// Parallel composition: rounds take the maximum, messages add.
+    pub fn alongside(self, other: CostReport) -> CostReport {
+        CostReport {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+        }
+    }
+
+    /// Messages per round (0 if no rounds were used).
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+    fn add(self, rhs: CostReport) -> CostReport {
+        self.then(rhs)
+    }
+}
+
+impl AddAssign for CostReport {
+    fn add_assign(&mut self, rhs: CostReport) {
+        *self = self.then(rhs);
+    }
+}
+
+/// Detailed per-round and per-node accounting produced by the synchronous
+/// runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    /// Messages sent in each executed round (`messages_per_round[r]` is the
+    /// count of round `r`, starting at round 1; index 0 holds messages sent
+    /// during initialization).
+    pub messages_per_round: Vec<u64>,
+    /// Messages sent by each node over the whole execution.
+    pub messages_per_node: Vec<u64>,
+}
+
+impl ExecutionMetrics {
+    /// Creates empty metrics for a network of `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        ExecutionMetrics {
+            messages_per_round: vec![0],
+            messages_per_node: vec![0; node_count],
+        }
+    }
+
+    /// Records that `node` sent one message during the current round slot.
+    pub fn record_send(&mut self, node_index: usize) {
+        *self.messages_per_round.last_mut().expect("at least one round slot exists") += 1;
+        self.messages_per_node[node_index] += 1;
+    }
+
+    /// Opens a new round slot.
+    pub fn start_round(&mut self) {
+        self.messages_per_round.push(0);
+    }
+
+    /// Number of rounds executed so far (the initialization slot does not
+    /// count as a round).
+    pub fn rounds(&self) -> u64 {
+        (self.messages_per_round.len() - 1) as u64
+    }
+
+    /// Total messages sent so far.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_per_round.iter().sum()
+    }
+
+    /// The busiest node's message count.
+    pub fn max_node_messages(&self) -> u64 {
+        self.messages_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Collapses the detailed metrics into a [`CostReport`].
+    pub fn summary(&self) -> CostReport {
+        CostReport { rounds: self.rounds(), messages: self.total_messages() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_report_compositions() {
+        let a = CostReport::new(3, 10);
+        let b = CostReport::new(5, 7);
+        assert_eq!(a.then(b), CostReport::new(8, 17));
+        assert_eq!(a.alongside(b), CostReport::new(5, 17));
+        assert_eq!(a + b, CostReport::new(8, 17));
+        let mut c = CostReport::zero();
+        c += a;
+        c += b;
+        assert_eq!(c, CostReport::new(8, 17));
+    }
+
+    #[test]
+    fn messages_per_round_handles_zero_rounds() {
+        assert_eq!(CostReport::zero().messages_per_round(), 0.0);
+        assert_eq!(CostReport::new(4, 8).messages_per_round(), 2.0);
+    }
+
+    #[test]
+    fn execution_metrics_accumulate() {
+        let mut metrics = ExecutionMetrics::new(3);
+        // Initialization sends 2 messages from node 0.
+        metrics.record_send(0);
+        metrics.record_send(0);
+        metrics.start_round();
+        metrics.record_send(1);
+        metrics.start_round();
+        metrics.record_send(2);
+        metrics.record_send(1);
+
+        assert_eq!(metrics.rounds(), 2);
+        assert_eq!(metrics.total_messages(), 5);
+        assert_eq!(metrics.messages_per_round, vec![2, 1, 2]);
+        assert_eq!(metrics.messages_per_node, vec![2, 2, 1]);
+        assert_eq!(metrics.max_node_messages(), 2);
+        assert_eq!(metrics.summary(), CostReport::new(2, 5));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let metrics = ExecutionMetrics::new(0);
+        assert_eq!(metrics.rounds(), 0);
+        assert_eq!(metrics.total_messages(), 0);
+        assert_eq!(metrics.max_node_messages(), 0);
+        assert_eq!(metrics.summary(), CostReport::zero());
+    }
+}

@@ -1,0 +1,259 @@
+//! Node programs and their per-round execution context.
+
+use crate::knowledge::{InitialKnowledge, Port};
+use freelunch_graph::{EdgeId, NodeId};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// A message in transit: the payload together with the edge it travelled
+/// over and the sender.
+///
+/// Under the paper's model a receiver always learns the edge (it knows the
+/// unique ID of each incident edge); whether it can interpret `from` depends
+/// on the knowledge model and is up to the algorithm, so programs that want
+/// to stay within the unique-edge-ID model should key their state by
+/// [`Envelope::edge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The edge the message was sent over.
+    pub edge: EdgeId,
+    /// The node that sent the message.
+    pub from: NodeId,
+    /// The message payload.
+    pub payload: M,
+}
+
+/// One buffered outgoing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Outgoing<M> {
+    pub edge: EdgeId,
+    pub payload: M,
+}
+
+/// The interface the runtime hands to a node in each round.
+///
+/// The context exposes exactly the information the LOCAL model grants the
+/// node: its own ID, its initial knowledge (ports / edge IDs / neighbor IDs
+/// depending on the [`KnowledgeModel`](crate::knowledge::KnowledgeModel)),
+/// the current round number, a deterministic private source of randomness,
+/// and the ability to send messages over incident edges.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) knowledge: &'a InitialKnowledge,
+    /// The edge behind each local port, resolved by the runtime. This is how
+    /// `KT0` programs send without ever learning global edge IDs: they
+    /// address ports, the runtime translates.
+    pub(crate) port_edges: &'a [EdgeId],
+    pub(crate) round: u32,
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) outbox: Vec<Outgoing<M>>,
+    pub(crate) halted: bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        knowledge: &'a InitialKnowledge,
+        port_edges: &'a [EdgeId],
+        round: u32,
+        rng: &'a mut ChaCha8Rng,
+    ) -> Self {
+        Context { knowledge, port_edges, round, rng, outbox: Vec::new(), halted: false }
+    }
+
+    /// The executing node's own ID.
+    pub fn node(&self) -> NodeId {
+        self.knowledge.node
+    }
+
+    /// The node's degree (number of incident edges, with multiplicity).
+    pub fn degree(&self) -> usize {
+        self.knowledge.degree()
+    }
+
+    /// The node's initial knowledge (ports, edge IDs, neighbor IDs — as
+    /// permitted by the knowledge model).
+    pub fn knowledge(&self) -> &InitialKnowledge {
+        self.knowledge
+    }
+
+    /// The node's ports (one per incident edge).
+    pub fn ports(&self) -> &[Port] {
+        &self.knowledge.ports
+    }
+
+    /// The current round number (0 during initialization, then 1, 2, …).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The promised upper bound on `log2 n` (model assumption (i)).
+    pub fn log_n_upper_bound(&self) -> u32 {
+        self.knowledge.log_n_upper_bound
+    }
+
+    /// The node's private, deterministic random stream.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Queues a message to be delivered over `edge` at the beginning of the
+    /// next round.
+    ///
+    /// The runtime validates at the end of the round that `edge` is incident
+    /// to this node and aborts the execution otherwise, so a program bug
+    /// cannot silently teleport messages.
+    pub fn send(&mut self, edge: EdgeId, payload: M) {
+        self.outbox.push(Outgoing { edge, payload });
+    }
+
+    /// Queues a message on the edge behind local port `port`.
+    ///
+    /// This works under every knowledge model (the runtime resolves the port
+    /// to an edge; the program never needs to see the global ID). Returns
+    /// `false` and sends nothing if the port does not exist.
+    pub fn send_port(&mut self, port: usize, payload: M) -> bool {
+        match self.port_edges.get(port) {
+            Some(&edge) => {
+                self.send(edge, payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks this node as halted. A halted node still receives messages but
+    /// the runtime's `run_until_halt` stops once every node has halted.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Number of messages queued so far in this round.
+    pub fn queued_messages(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Queues a copy of `payload` on every incident edge ("local broadcast").
+    /// Works under every knowledge model. Returns the number of messages
+    /// queued.
+    pub fn broadcast(&mut self, payload: M) -> usize {
+        let degree = self.port_edges.len();
+        for port in 0..degree {
+            self.send_port(port, payload.clone());
+        }
+        degree
+    }
+}
+
+/// A LOCAL algorithm, expressed as the program run by every node.
+///
+/// Implementations are created per node by the factory passed to
+/// [`Network::new`](crate::engine::Network::new); the runtime then calls
+/// [`NodeProgram::init`] once and [`NodeProgram::round`] once per
+/// synchronous round, delivering the messages sent in the previous round.
+pub trait NodeProgram {
+    /// The message type exchanged by this algorithm.
+    type Message: Clone + fmt::Debug;
+
+    /// Called once before the first round; messages sent here are delivered
+    /// in round 1.
+    fn init(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called once per round with the messages delivered this round.
+    fn round(&mut self, ctx: &mut Context<'_, Self::Message>, inbox: &[Envelope<Self::Message>]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{initial_knowledge, KnowledgeModel};
+    use freelunch_graph::MultiGraph;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> MultiGraph {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        g
+    }
+
+    fn sample_knowledge(model: KnowledgeModel) -> Vec<InitialKnowledge> {
+        initial_knowledge(&sample_graph(), model, 1)
+    }
+
+    fn port_edges_of(node: u32) -> Vec<EdgeId> {
+        sample_graph()
+            .incident_edges(NodeId::new(node))
+            .iter()
+            .map(|ie| ie.edge)
+            .collect()
+    }
+
+    #[test]
+    fn context_exposes_local_view() {
+        let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
+        let ports = port_edges_of(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ctx: Context<'_, u32> = Context::new(&knowledge[0], &ports, 3, &mut rng);
+        assert_eq!(ctx.node(), NodeId::new(0));
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.ports().len(), 2);
+        assert!(ctx.log_n_upper_bound() >= 2);
+        assert_eq!(ctx.queued_messages(), 0);
+    }
+
+    #[test]
+    fn send_and_broadcast_queue_messages() {
+        let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
+        let ports = port_edges_of(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx: Context<'_, &'static str> = Context::new(&knowledge[0], &ports, 1, &mut rng);
+        ctx.send(EdgeId::new(0), "hello");
+        assert_eq!(ctx.queued_messages(), 1);
+        let sent = ctx.broadcast("all");
+        assert_eq!(sent, 2);
+        assert_eq!(ctx.queued_messages(), 3);
+    }
+
+    #[test]
+    fn send_port_works_under_every_model() {
+        for model in [KnowledgeModel::Kt0, KnowledgeModel::UniqueEdgeIds, KnowledgeModel::Kt1] {
+            let knowledge = sample_knowledge(model);
+            let ports = port_edges_of(0);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut ctx: Context<'_, u8> = Context::new(&knowledge[0], &ports, 1, &mut rng);
+            assert!(ctx.send_port(1, 5));
+            assert!(!ctx.send_port(99, 5));
+            assert_eq!(ctx.queued_messages(), 1);
+        }
+    }
+
+    #[test]
+    fn halt_flag_is_recorded() {
+        let knowledge = sample_knowledge(KnowledgeModel::Kt1);
+        let ports = port_edges_of(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx: Context<'_, ()> = Context::new(&knowledge[1], &ports, 1, &mut rng);
+        assert!(!ctx.halted);
+        ctx.halt();
+        assert!(ctx.halted);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::Rng;
+        let knowledge = sample_knowledge(KnowledgeModel::Kt1);
+        let ports = port_edges_of(0);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+        let mut ctx_a: Context<'_, ()> = Context::new(&knowledge[0], &ports, 1, &mut rng_a);
+        let a: u64 = ctx_a.rng().gen();
+        let mut ctx_b: Context<'_, ()> = Context::new(&knowledge[0], &ports, 1, &mut rng_b);
+        let b: u64 = ctx_b.rng().gen();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a dense graph, construct a `Sampler` spanner, verify
+//! its stretch and compare the construction's message count with the edge
+//! count.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use freelunch::core::sampler::{ConstantPolicy, Sampler, SamplerParams};
+use freelunch::graph::generators::{connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::spanner_check::verify_edge_stretch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dense communication graph: n = 400 nodes, ~16k edges.
+    let graph = connected_erdos_renyi(&GeneratorConfig::new(400, 42), 0.2)?;
+    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+
+    // Sampler with k = 2 levels (stretch bound 2·3² − 1 = 17) and h = 7
+    // trials-per-level budget; practical constants (see DESIGN.md).
+    let params = SamplerParams::with_constants(
+        2,
+        7,
+        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+    )?;
+    let sampler = Sampler::new(params);
+    let outcome = sampler.run(&graph, 7)?;
+
+    println!(
+        "spanner: {} edges ({:.1}% of the graph), paper size bound n^(1+delta) = {:.0}",
+        outcome.spanner_size(),
+        100.0 * outcome.spanner_size() as f64 / graph.edge_count() as f64,
+        params.size_bound(graph.node_count()),
+    );
+    println!(
+        "construction cost: {} rounds, {} messages ({:.2} messages per edge of G)",
+        outcome.cost.rounds,
+        outcome.cost.messages,
+        outcome.cost.messages as f64 / graph.edge_count() as f64,
+    );
+
+    // Verify the stretch guarantee of Theorem 9.
+    let report = verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied())?;
+    println!(
+        "stretch: max {} / mean {:.2} (bound {})",
+        report.max_stretch,
+        report.mean_stretch,
+        params.stretch_bound()
+    );
+    assert!(report.satisfies(params.stretch_bound()), "the spanner must respect the bound");
+
+    // Per-level breakdown.
+    for level in &outcome.levels {
+        println!(
+            "level {}: {} nodes, {} edges, {} light / {} heavy / {} ambiguous, {} centers, +{} spanner edges",
+            level.level,
+            level.nodes,
+            level.edges,
+            level.light,
+            level.heavy,
+            level.ambiguous,
+            level.centers,
+            level.spanner_edges_added
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Compare the spanner constructions available in the workspace — `Sampler`
+//! (the paper's algorithm), Baswana–Sen, the Derbel-style cluster spanner
+//! and the greedy reference — on one dense graph: size, measured stretch,
+//! rounds and messages.
+//!
+//! Run with `cargo run --example spanner_comparison`.
+
+use freelunch::baselines::{BaswanaSen, ClusterSpanner, GreedySpanner};
+use freelunch::core::sampler::{ConstantPolicy, Sampler, SamplerParams};
+use freelunch::core::spanner_api::SpannerAlgorithm;
+use freelunch::graph::generators::{connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::spanner_check::verify_edge_stretch;
+use freelunch::graph::MultiGraph;
+
+fn report(graph: &MultiGraph, algorithm: &dyn SpannerAlgorithm) -> Result<(), Box<dyn std::error::Error>> {
+    let result = algorithm.construct(graph, 13)?;
+    let stretch = verify_edge_stretch(graph, result.edges.iter().copied())?;
+    println!(
+        "{:<28} | {:>7} edges | stretch {:>3} (bound {:>3}) | {:>5} rounds | {:>9} messages",
+        result.algorithm,
+        result.size(),
+        stretch.max_stretch,
+        result.multiplicative_stretch,
+        result.cost.rounds,
+        result.cost.messages
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = connected_erdos_renyi(&GeneratorConfig::new(400, 5), 0.2)?;
+    println!(
+        "graph: {} nodes, {} edges\n{:-<110}",
+        graph.node_count(),
+        graph.edge_count(),
+        ""
+    );
+
+    let sampler = Sampler::new(SamplerParams::with_constants(
+        2,
+        7,
+        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+    )?);
+    report(&graph, &sampler)?;
+    report(&graph, &BaswanaSen::new(2)?)?;
+    report(&graph, &BaswanaSen::new(3)?)?;
+    report(&graph, &ClusterSpanner::new(1)?)?;
+    report(&graph, &GreedySpanner::new(3)?)?;
+    report(&graph, &GreedySpanner::new(5)?)?;
+
+    println!(
+        "\nNote how only the Sampler's message count stays decoupled from |E|; every other\nconstruction pays Ω(m) messages, which is exactly the gap Theorem 2 closes."
+    );
+    Ok(())
+}

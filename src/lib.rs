@@ -1,0 +1,41 @@
+//! # freelunch
+//!
+//! Umbrella crate for the reproduction of *"Message Reduction in the LOCAL
+//! Model Is a Free Lunch"* (Bitton, Emek, Izumi, Kutten; DISC 2019).
+//!
+//! The workspace is split into focused crates; this crate re-exports them so
+//! examples and downstream users can depend on a single entry point:
+//!
+//! * [`graph`] — multigraph substrate with unique edge IDs, generators,
+//!   traversal, cluster contraction and spanner verification.
+//! * [`runtime`] — synchronous LOCAL-model simulator with message/round
+//!   accounting and per-node deterministic randomness.
+//! * [`core`] — the paper's contribution: the `Sampler` spanner construction
+//!   and the message-reduction schemes built on top of it.
+//! * [`baselines`] — Baswana–Sen, Derbel-style, greedy spanners; gossip and
+//!   direct-flooding simulation baselines.
+//! * [`algorithms`] — example LOCAL algorithms (MIS, coloring, broadcast,
+//!   leader election, matching) used as the algorithm being simulated.
+//!
+//! # Quick start
+//!
+//! ```
+//! use freelunch::core::sampler::{Sampler, SamplerParams};
+//! use freelunch::graph::generators::{erdos_renyi, GeneratorConfig};
+//! use freelunch::graph::spanner_check::verify_edge_stretch;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = erdos_renyi(&GeneratorConfig::new(200, 7), 0.2)?;
+//! let params = SamplerParams::new(2, 4)?;
+//! let outcome = Sampler::new(params).run(&graph, 7)?;
+//! let report = verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied())?;
+//! assert!(report.max_stretch as u32 <= params.stretch_bound());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use freelunch_algorithms as algorithms;
+pub use freelunch_baselines as baselines;
+pub use freelunch_core as core;
+pub use freelunch_graph as graph;
+pub use freelunch_runtime as runtime;
