@@ -21,7 +21,11 @@ pub struct BallGathering {
 impl BallGathering {
     /// Creates the program for `node` with gathering horizon `t`.
     pub fn new(node: NodeId, horizon: u32) -> Self {
-        BallGathering { horizon, known: BTreeSet::from([node.raw()]), fresh: vec![node.raw()] }
+        BallGathering {
+            horizon,
+            known: BTreeSet::from([node.raw()]),
+            fresh: vec![node.raw()],
+        }
     }
 
     /// The IDs gathered so far (the node's view of its ball).
@@ -72,7 +76,11 @@ mod tests {
         })
         .unwrap();
         network.run_rounds(t).unwrap();
-        network.programs().iter().map(BallGathering::known_ids).collect()
+        network
+            .programs()
+            .iter()
+            .map(BallGathering::known_ids)
+            .collect()
     }
 
     #[test]
@@ -81,8 +89,11 @@ mod tests {
         for t in [0u32, 1, 2, 3] {
             let views = run_gathering(&graph, t);
             for v in graph.nodes() {
-                let expected: Vec<u32> =
-                    ball(&graph, v, t).unwrap().into_iter().map(NodeId::raw).collect();
+                let expected: Vec<u32> = ball(&graph, v, t)
+                    .unwrap()
+                    .into_iter()
+                    .map(NodeId::raw)
+                    .collect();
                 assert_eq!(views[v.index()], expected, "node {v}, t={t}");
             }
         }

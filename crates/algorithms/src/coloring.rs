@@ -60,7 +60,11 @@ impl RandomizedColoring {
 impl NodeProgram for RandomizedColoring {
     type Message = ColoringMessage;
 
-    fn round(&mut self, ctx: &mut Context<'_, ColoringMessage>, inbox: &[Envelope<ColoringMessage>]) {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, ColoringMessage>,
+        inbox: &[Envelope<ColoringMessage>],
+    ) {
         for envelope in inbox {
             match envelope.payload {
                 ColoringMessage::Proposal(c) => {
@@ -91,7 +95,9 @@ impl NodeProgram for RandomizedColoring {
         } else {
             // Resolve.
             if !self.conflict {
-                let color = self.proposal.expect("a proposal was made in the previous round");
+                let color = self
+                    .proposal
+                    .expect("a proposal was made in the previous round");
                 self.color = Some(color);
                 ctx.broadcast(ColoringMessage::Final(color));
                 ctx.halt();
@@ -130,7 +136,14 @@ mod tests {
         })
         .unwrap();
         network.run_until_halt(400).unwrap();
-        (network.programs().iter().map(RandomizedColoring::color).collect(), network.cost().rounds)
+        (
+            network
+                .programs()
+                .iter()
+                .map(RandomizedColoring::color)
+                .collect(),
+            network.cost().rounds,
+        )
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct LocalLeaderElection {
 impl LocalLeaderElection {
     /// Creates the program for `node` with horizon `t`.
     pub fn new(node: NodeId, horizon: u32) -> Self {
-        LocalLeaderElection { horizon, leader: node.raw() }
+        LocalLeaderElection {
+            horizon,
+            leader: node.raw(),
+        }
     }
 
     /// The elected leader (the largest ID heard so far).
@@ -64,7 +67,11 @@ mod tests {
         })
         .unwrap();
         network.run_rounds(t).unwrap();
-        network.programs().iter().map(LocalLeaderElection::leader).collect()
+        network
+            .programs()
+            .iter()
+            .map(LocalLeaderElection::leader)
+            .collect()
     }
 
     #[test]
@@ -73,8 +80,12 @@ mod tests {
         for t in [1u32, 2, 4] {
             let leaders = run_election(&graph, t);
             for v in graph.nodes() {
-                let expected =
-                    ball(&graph, v, t).unwrap().into_iter().map(NodeId::raw).max().unwrap();
+                let expected = ball(&graph, v, t)
+                    .unwrap()
+                    .into_iter()
+                    .map(NodeId::raw)
+                    .max()
+                    .unwrap();
                 assert_eq!(leaders[v.index()], expected, "node {v}, t={t}");
             }
         }

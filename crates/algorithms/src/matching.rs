@@ -86,7 +86,11 @@ impl Default for MaximalMatching {
 impl NodeProgram for MaximalMatching {
     type Message = MatchingMessage;
 
-    fn round(&mut self, ctx: &mut Context<'_, MatchingMessage>, inbox: &[Envelope<MatchingMessage>]) {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, MatchingMessage>,
+        inbox: &[Envelope<MatchingMessage>],
+    ) {
         // Process incoming traffic.
         let mut proposals: Vec<EdgeId> = Vec::new();
         for envelope in inbox {
@@ -146,7 +150,9 @@ pub fn is_maximal_matching(
 ) -> bool {
     for (v, m) in matched.iter().enumerate() {
         if let Some(edge) = m {
-            let Ok((a, b)) = graph.endpoints(*edge) else { return false };
+            let Ok((a, b)) = graph.endpoints(*edge) else {
+                return false;
+            };
             let other = if a.index() == v { b } else { a };
             if matched[other.index()] != Some(*edge) {
                 return false;
@@ -169,11 +175,16 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_matching(graph: &MultiGraph, seed: u64) -> Vec<Option<EdgeId>> {
-        let mut network =
-            Network::new(graph, NetworkConfig::with_seed(seed), |_, _| MaximalMatching::new())
-                .unwrap();
+        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, _| {
+            MaximalMatching::new()
+        })
+        .unwrap();
         network.run_until_halt(500).unwrap();
-        network.programs().iter().map(MaximalMatching::matched_over).collect()
+        network
+            .programs()
+            .iter()
+            .map(MaximalMatching::matched_over)
+            .collect()
     }
 
     #[test]
@@ -199,7 +210,10 @@ mod tests {
     fn validator_detects_inconsistencies() {
         let graph = complete_graph(&GeneratorConfig::new(3, 0)).unwrap();
         // Node 0 claims edge 0 (0-1) but node 1 does not.
-        assert!(!is_maximal_matching(&graph, &[Some(EdgeId::new(0)), None, None]));
+        assert!(!is_maximal_matching(
+            &graph,
+            &[Some(EdgeId::new(0)), None, None]
+        ));
         // Edge (1,2) has both endpoints unmatched.
         assert!(!is_maximal_matching(&graph, &[None, None, None]));
         // A proper maximal matching.

@@ -172,7 +172,10 @@ mod tests {
         .unwrap();
         network.run_until_halt(200).unwrap();
         let rounds = network.cost().rounds;
-        (network.programs().iter().map(LubyMis::state).collect(), rounds)
+        (
+            network.programs().iter().map(LubyMis::state).collect(),
+            rounds,
+        )
     }
 
     #[test]
@@ -214,17 +217,32 @@ mod tests {
         // Adjacent members.
         assert!(!is_maximal_independent_set(
             &graph,
-            &[MisState::InSet, MisState::InSet, MisState::OutOfSet, MisState::OutOfSet]
+            &[
+                MisState::InSet,
+                MisState::InSet,
+                MisState::OutOfSet,
+                MisState::OutOfSet
+            ]
         ));
         // Uncovered node.
         assert!(!is_maximal_independent_set(
             &graph,
-            &[MisState::OutOfSet, MisState::OutOfSet, MisState::OutOfSet, MisState::OutOfSet]
+            &[
+                MisState::OutOfSet,
+                MisState::OutOfSet,
+                MisState::OutOfSet,
+                MisState::OutOfSet
+            ]
         ));
         // A valid configuration.
         assert!(is_maximal_independent_set(
             &graph,
-            &[MisState::InSet, MisState::OutOfSet, MisState::InSet, MisState::OutOfSet]
+            &[
+                MisState::InSet,
+                MisState::OutOfSet,
+                MisState::InSet,
+                MisState::OutOfSet
+            ]
         ));
     }
 }

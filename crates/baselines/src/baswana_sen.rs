@@ -41,7 +41,9 @@ impl BaswanaSen {
     /// Returns an error if `k` is zero or larger than 20.
     pub fn new(k: u32) -> BaselineResult<Self> {
         if k == 0 || k > 20 {
-            return Err(BaselineError::invalid_parameter(format!("k must be in 1..=20, got {k}")));
+            return Err(BaselineError::invalid_parameter(format!(
+                "k must be in 1..=20, got {k}"
+            )));
         }
         Ok(BaswanaSen { k })
     }
@@ -58,7 +60,9 @@ impl BaswanaSen {
     /// Returns an error if the graph is empty.
     pub fn run(&self, graph: &MultiGraph, seed: u64) -> BaselineResult<BaswanaSenOutcome> {
         if graph.node_count() == 0 {
-            return Err(BaselineError::invalid_parameter("the input graph has no nodes"));
+            return Err(BaselineError::invalid_parameter(
+                "the input graph has no nodes",
+            ));
         }
         let n = graph.node_count();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -83,12 +87,16 @@ impl BaswanaSen {
             // Sample clusters.
             let mut sampled: HashMap<NodeId, bool> = HashMap::new();
             for center in cluster_of.iter().flatten() {
-                sampled.entry(*center).or_insert_with(|| rng.gen_bool(sample_probability));
+                sampled
+                    .entry(*center)
+                    .or_insert_with(|| rng.gen_bool(sample_probability));
             }
 
             let mut next_cluster_of = cluster_of.clone();
             for v in graph.nodes() {
-                let Some(current) = cluster_of[v.index()] else { continue };
+                let Some(current) = cluster_of[v.index()] else {
+                    continue;
+                };
                 if *sampled.get(&current).unwrap_or(&false) {
                     continue; // Nodes of sampled clusters carry on unchanged.
                 }
@@ -99,9 +107,12 @@ impl BaswanaSen {
                     if !alive.contains(&ie.edge) {
                         continue;
                     }
-                    let Some(neighbor_cluster) = cluster_of[ie.neighbor.index()] else { continue };
+                    let Some(neighbor_cluster) = cluster_of[ie.neighbor.index()] else {
+                        continue;
+                    };
                     by_cluster.entry(neighbor_cluster).or_insert(ie.edge);
-                    if sampled_neighbor.is_none() && *sampled.get(&neighbor_cluster).unwrap_or(&false)
+                    if sampled_neighbor.is_none()
+                        && *sampled.get(&neighbor_cluster).unwrap_or(&false)
                     {
                         sampled_neighbor = Some((neighbor_cluster, ie.edge));
                     }
@@ -213,7 +224,8 @@ mod tests {
     #[test]
     fn stretch_bound_holds_on_random_graphs() {
         for k in 1..=3u32 {
-            let graph = connected_erdos_renyi(&GeneratorConfig::new(120, u64::from(k)), 0.15).unwrap();
+            let graph =
+                connected_erdos_renyi(&GeneratorConfig::new(120, u64::from(k)), 0.15).unwrap();
             let algorithm = BaswanaSen::new(k).unwrap();
             let outcome = algorithm.run(&graph, 7).unwrap();
             let report = verify_edge_stretch(&graph, outcome.spanner.iter().copied()).unwrap();
@@ -270,6 +282,9 @@ mod tests {
 
     #[test]
     fn empty_graph_rejected() {
-        assert!(BaswanaSen::new(2).unwrap().run(&MultiGraph::new(0), 0).is_err());
+        assert!(BaswanaSen::new(2)
+            .unwrap()
+            .run(&MultiGraph::new(0), 0)
+            .is_err());
     }
 }

@@ -53,7 +53,10 @@ impl ClusterSpanner {
                 "radius must be in 1..=10, got {radius}"
             )));
         }
-        Ok(ClusterSpanner { radius, center_probability: None })
+        Ok(ClusterSpanner {
+            radius,
+            center_probability: None,
+        })
     }
 
     /// Stretch guarantee for adjacent pairs: `4ρ + 1` (cluster trees have
@@ -81,7 +84,9 @@ impl ClusterSpanner {
     pub fn run(&self, graph: &MultiGraph, seed: u64) -> BaselineResult<ClusterSpannerOutcome> {
         let n = graph.node_count();
         if n == 0 {
-            return Err(BaselineError::invalid_parameter("the input graph has no nodes"));
+            return Err(BaselineError::invalid_parameter(
+                "the input graph has no nodes",
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let p = self.probability(n);
@@ -223,7 +228,10 @@ mod tests {
         // conservative default probability targets worst-case coverage and is
         // intentionally higher).
         let graph = complete_graph(&GeneratorConfig::new(200, 0)).unwrap();
-        let algorithm = ClusterSpanner { radius: 1, center_probability: Some(0.1) };
+        let algorithm = ClusterSpanner {
+            radius: 1,
+            center_probability: Some(0.1),
+        };
         let outcome = algorithm.run(&graph, 3).unwrap();
         assert!(outcome.spanner.len() < graph.edge_count() / 2);
         assert!(outcome.centers > 0);
@@ -234,7 +242,10 @@ mod tests {
     #[test]
     fn explicit_probability_one_covers_every_node() {
         let graph = connected_erdos_renyi(&GeneratorConfig::new(50, 1), 0.2).unwrap();
-        let algorithm = ClusterSpanner { radius: 2, center_probability: Some(1.0) };
+        let algorithm = ClusterSpanner {
+            radius: 2,
+            center_probability: Some(1.0),
+        };
         let outcome = algorithm.run(&graph, 1).unwrap();
         assert_eq!(outcome.uncovered_nodes, 0);
         assert_eq!(outcome.centers, graph.node_count());
@@ -243,7 +254,10 @@ mod tests {
     #[test]
     fn trait_round_complexity_is_small() {
         let graph = connected_erdos_renyi(&GeneratorConfig::new(60, 2), 0.2).unwrap();
-        let result = ClusterSpanner::new(2).unwrap().construct(&graph, 5).unwrap();
+        let result = ClusterSpanner::new(2)
+            .unwrap()
+            .construct(&graph, 5)
+            .unwrap();
         assert_eq!(result.cost.rounds, 4);
         assert_eq!(result.multiplicative_stretch, 9);
     }

@@ -53,7 +53,9 @@ impl From<freelunch_core::CoreError> for BaselineError {
 impl BaselineError {
     /// Convenience constructor for [`BaselineError::InvalidParameter`].
     pub fn invalid_parameter(reason: impl Into<String>) -> Self {
-        BaselineError::InvalidParameter { reason: reason.into() }
+        BaselineError::InvalidParameter {
+            reason: reason.into(),
+        }
     }
 }
 

@@ -29,7 +29,9 @@ pub struct FloodingOutcome {
 /// Returns an error if the graph is empty.
 pub fn direct_flooding(graph: &MultiGraph, t: u32) -> BaselineResult<FloodingOutcome> {
     if graph.node_count() == 0 {
-        return Err(BaselineError::invalid_parameter("the input graph has no nodes"));
+        return Err(BaselineError::invalid_parameter(
+            "the input graph has no nodes",
+        ));
     }
     let broadcast = flood_on_subgraph(graph, graph.edge_ids(), t)?;
     Ok(FloodingOutcome {
@@ -60,7 +62,10 @@ mod tests {
     fn dense_graphs_pay_for_every_edge() {
         let graph = complete_graph(&GeneratorConfig::new(100, 0)).unwrap();
         let outcome = direct_flooding(&graph, 1).unwrap();
-        assert_eq!(outcome.broadcast.cost.messages, 2 * graph.edge_count() as u64);
+        assert_eq!(
+            outcome.broadcast.cost.messages,
+            2 * graph.edge_count() as u64
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub struct GossipBroadcast {
 
 impl Default for GossipBroadcast {
     fn default() -> Self {
-        GossipBroadcast { max_rounds: 100_000 }
+        GossipBroadcast {
+            max_rounds: 100_000,
+        }
     }
 }
 
@@ -61,7 +63,9 @@ impl GossipBroadcast {
     pub fn run(&self, graph: &MultiGraph, t: u32, seed: u64) -> BaselineResult<GossipOutcome> {
         let n = graph.node_count();
         if n == 0 {
-            return Err(BaselineError::invalid_parameter("the input graph has no nodes"));
+            return Err(BaselineError::invalid_parameter(
+                "the input graph has no nodes",
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
 

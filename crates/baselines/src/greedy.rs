@@ -47,7 +47,9 @@ impl GreedySpanner {
     /// Returns an error if the graph is empty.
     pub fn run(&self, graph: &MultiGraph) -> BaselineResult<Vec<EdgeId>> {
         if graph.node_count() == 0 {
-            return Err(BaselineError::invalid_parameter("the input graph has no nodes"));
+            return Err(BaselineError::invalid_parameter(
+                "the input graph has no nodes",
+            ));
         }
         let mut spanner = MultiGraph::new(graph.node_count());
         let mut edges = Vec::new();
@@ -100,15 +102,29 @@ mod tests {
         for alpha in [1u32, 3, 5] {
             let edges = GreedySpanner::new(alpha).unwrap().run(&graph).unwrap();
             let report = verify_edge_stretch(&graph, edges.iter().copied()).unwrap();
-            assert!(report.satisfies(alpha), "alpha={alpha}: {}", report.max_stretch);
+            assert!(
+                report.satisfies(alpha),
+                "alpha={alpha}: {}",
+                report.max_stretch
+            );
         }
     }
 
     #[test]
     fn alpha_one_keeps_one_edge_per_adjacent_pair() {
         let mut graph = MultiGraph::new(2);
-        graph.add_edge(freelunch_graph::NodeId::new(0), freelunch_graph::NodeId::new(1)).unwrap();
-        graph.add_edge(freelunch_graph::NodeId::new(0), freelunch_graph::NodeId::new(1)).unwrap();
+        graph
+            .add_edge(
+                freelunch_graph::NodeId::new(0),
+                freelunch_graph::NodeId::new(1),
+            )
+            .unwrap();
+        graph
+            .add_edge(
+                freelunch_graph::NodeId::new(0),
+                freelunch_graph::NodeId::new(1),
+            )
+            .unwrap();
         let edges = GreedySpanner::new(1).unwrap().run(&graph).unwrap();
         assert_eq!(edges.len(), 1);
     }
@@ -133,6 +149,9 @@ mod tests {
         let result = GreedySpanner::new(3).unwrap().construct(&graph, 0).unwrap();
         assert_eq!(result.multiplicative_stretch, 3);
         assert!(result.cost.messages >= graph.edge_count() as u64);
-        assert!(GreedySpanner::new(2).unwrap().run(&MultiGraph::new(0)).is_err());
+        assert!(GreedySpanner::new(2)
+            .unwrap()
+            .run(&MultiGraph::new(0))
+            .is_err());
     }
 }

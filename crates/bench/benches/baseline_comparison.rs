@@ -9,7 +9,9 @@ use freelunch_core::spanner_api::SpannerAlgorithm;
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_spanners");
     group.sample_size(10);
-    let graph = Workload::DenseRandom.build(256, 3).expect("workload builds");
+    let graph = Workload::DenseRandom
+        .build(256, 3)
+        .expect("workload builds");
     group.bench_function("baswana_sen_k3", |b| {
         let algorithm = BaswanaSen::new(3).expect("valid");
         b.iter(|| algorithm.construct(&graph, 5).expect("runs"))

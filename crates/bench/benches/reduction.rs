@@ -10,7 +10,9 @@ use freelunch_core::sampler::Sampler;
 fn bench_tlocal_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("t_local_broadcast");
     group.sample_size(10);
-    let graph = Workload::DenseRandom.build(384, 9).expect("workload builds");
+    let graph = Workload::DenseRandom
+        .build(384, 9)
+        .expect("workload builds");
     let params = experiment_params(2);
     let spanner = Sampler::new(params).run(&graph, 7).expect("sampler runs");
     let edges = spanner.spanner_edges().to_vec();

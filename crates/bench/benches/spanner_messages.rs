@@ -10,7 +10,9 @@ use freelunch_core::spanner_api::SpannerAlgorithm;
 fn bench_construction_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("spanner_construction_comparison");
     group.sample_size(10);
-    let graph = Workload::DenseRandom.build(384, 3).expect("workload builds");
+    let graph = Workload::DenseRandom
+        .build(384, 3)
+        .expect("workload builds");
     group.bench_with_input(BenchmarkId::new("sampler", 384), &graph, |b, graph| {
         let sampler = Sampler::new(experiment_params(2));
         b.iter(|| sampler.construct(graph, 5).expect("runs"))

@@ -11,11 +11,9 @@ fn bench_sampler_construction(c: &mut Criterion) {
         for k in [1u32, 2] {
             let graph = Workload::DenseRandom.build(n, 1).expect("workload builds");
             let sampler = Sampler::new(experiment_params(k));
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &graph,
-                |b, graph| b.iter(|| sampler.run(graph, 7).expect("sampler runs")),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &graph, |b, graph| {
+                b.iter(|| sampler.run(graph, 7).expect("sampler runs"))
+            });
         }
     }
     group.finish();

@@ -8,15 +8,29 @@ use freelunch_bench::{cell_str, cell_u64, experiment_constants, ExperimentTable,
 use freelunch_core::sampler::{Sampler, SamplerParams};
 
 fn main() {
-    let graph = Workload::Communities.build(128, 5).expect("workload builds");
+    let graph = Workload::Communities
+        .build(128, 5)
+        .expect("workload builds");
     let params = SamplerParams::with_constants(2, 3, experiment_constants()).expect("valid");
-    let (outcome, trace) = Sampler::new(params).run_with_trace(&graph, 3).expect("sampler runs");
+    let (outcome, trace) = Sampler::new(params)
+        .run_with_trace(&graph, 3)
+        .expect("sampler runs");
 
     println!("Figure 1 trace (one line per level):\n{trace}");
 
     let mut table = ExperimentTable::new(
         "E8 — Figure 1 panels per level",
-        &["level", "|V_j|", "|E_j|", "query edges", "F edges", "centers", "clusters", "unclustered", "|V_(j+1)|"],
+        &[
+            "level",
+            "|V_j|",
+            "|E_j|",
+            "query edges",
+            "F edges",
+            "centers",
+            "clusters",
+            "unclustered",
+            "|V_(j+1)|",
+        ],
     );
     for level in &trace.levels {
         table.push_row(vec![
@@ -28,7 +42,9 @@ fn main() {
             cell_u64(level.centers.len() as u64),
             cell_u64(level.clusters.len() as u64),
             cell_u64(level.unclustered.len() as u64),
-            level.next_level_nodes.map_or_else(|| cell_str("-"), |n| cell_u64(n as u64)),
+            level
+                .next_level_nodes
+                .map_or_else(|| cell_str("-"), |n| cell_u64(n as u64)),
         ]);
     }
     println!("{}", table.to_markdown());

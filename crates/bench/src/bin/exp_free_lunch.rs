@@ -7,7 +7,9 @@
 //! delivered by the broadcast determines the same outputs.
 
 use freelunch_algorithms::{BallGathering, LocalLeaderElection};
-use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_bench::{
+    cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload,
+};
 use freelunch_core::reduction::simulate::simulate_with_spanner;
 use freelunch_core::sampler::{Sampler, SamplerParams};
 use freelunch_runtime::NetworkConfig;

@@ -8,7 +8,9 @@
 //! tracking `m`.
 
 use freelunch_baselines::{BaswanaSen, ClusterSpanner};
-use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_bench::{
+    cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload,
+};
 use freelunch_core::sampler::{Sampler, SamplerParams};
 use freelunch_core::spanner_api::SpannerAlgorithm;
 
@@ -18,7 +20,9 @@ fn main() {
         "E3 — Theorem 2 rounds: measured rounds vs bound O(3^k h) (dense ER, n = 512)",
         &["k", "h", "measured rounds", "paper bound 3^k*h", "ratio"],
     );
-    let graph = Workload::DenseRandom.build(512, 7).expect("workload builds");
+    let graph = Workload::DenseRandom
+        .build(512, 7)
+        .expect("workload builds");
     for k in 1..=3u32 {
         for h in [3u32, 7] {
             let params = SamplerParams::with_constants(k, h, experiment_constants())
@@ -40,16 +44,34 @@ fn main() {
     // graphs.
     let mut message_table = ExperimentTable::new(
         "E4 — Theorem 2 messages: construction messages vs |E| (n = 512)",
-        &["workload", "m", "sampler msgs", "baswana-sen msgs", "cluster-spanner msgs", "sampler msgs / m"],
+        &[
+            "workload",
+            "m",
+            "sampler msgs",
+            "baswana-sen msgs",
+            "cluster-spanner msgs",
+            "sampler msgs / m",
+        ],
     );
-    for workload in [Workload::SparseRandom, Workload::Communities, Workload::DenseRandom, Workload::Complete] {
+    for workload in [
+        Workload::SparseRandom,
+        Workload::Communities,
+        Workload::DenseRandom,
+        Workload::Complete,
+    ] {
         let graph = workload.build(512, 3).expect("workload builds");
         let sampler = Sampler::new(
             SamplerParams::with_constants(2, 7, experiment_constants()).expect("valid parameters"),
         );
         let sampler_result = sampler.construct(&graph, 5).expect("sampler runs");
-        let baswana = BaswanaSen::new(3).expect("valid k").construct(&graph, 5).expect("runs");
-        let cluster = ClusterSpanner::new(1).expect("valid radius").construct(&graph, 5).expect("runs");
+        let baswana = BaswanaSen::new(3)
+            .expect("valid k")
+            .construct(&graph, 5)
+            .expect("runs");
+        let cluster = ClusterSpanner::new(1)
+            .expect("valid radius")
+            .construct(&graph, 5)
+            .expect("runs");
         let m = graph.edge_count() as u64;
         message_table.push_row(vec![
             cell_str(workload.label()),

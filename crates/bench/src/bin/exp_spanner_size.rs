@@ -5,10 +5,12 @@
 //! paper's `1 + 1/(2^{k+1}−1)`), and the worst-case per-edge stretch (to
 //! compare against the bound `2·3^k − 1`).
 
-use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_params, fit_power_law_exponent, ExperimentTable, Workload};
+use freelunch_bench::{
+    cell_f64, cell_str, cell_u64, experiment_params, fit_power_law_exponent, tables_to_json,
+    ExperimentTable, Workload,
+};
 use freelunch_core::sampler::Sampler;
 use freelunch_graph::spanner_check::verify_edge_stretch;
-use rayon::prelude::*;
 
 fn main() {
     let sizes = [256usize, 512, 1024];
@@ -18,11 +20,25 @@ fn main() {
 
     let mut size_table = ExperimentTable::new(
         "E1 — Theorem 2 size: |S| vs n (dense Erdos-Renyi, mean over seeds)",
-        &["k", "n", "m", "spanner edges", "paper bound n^(1+d)", "edges kept (%)"],
+        &[
+            "k",
+            "n",
+            "m",
+            "spanner edges",
+            "paper bound n^(1+d)",
+            "edges kept (%)",
+        ],
     );
     let mut stretch_table = ExperimentTable::new(
         "E2 — Theorem 9 stretch: worst per-edge stretch vs bound 2*3^k-1",
-        &["k", "n", "max stretch", "mean stretch", "bound", "within bound"],
+        &[
+            "k",
+            "n",
+            "max stretch",
+            "mean stretch",
+            "bound",
+            "within bound",
+        ],
     );
     let mut fit_table = ExperimentTable::new(
         "E1b — fitted size exponent vs paper exponent 1 + 1/(2^(k+1)-1)",
@@ -34,12 +50,15 @@ fn main() {
         let mut points: Vec<(f64, f64)> = Vec::new();
         for &n in &sizes {
             let runs: Vec<(usize, usize, u32, f64, bool)> = seeds
-                .par_iter()
+                .iter()
                 .map(|&seed| {
                     let graph = workload.build(n, seed).expect("workload builds");
-                    let outcome = Sampler::new(params).run(&graph, seed).expect("sampler runs");
-                    let report = verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied())
-                        .expect("stretch check");
+                    let outcome = Sampler::new(params)
+                        .run(&graph, seed)
+                        .expect("sampler runs");
+                    let report =
+                        verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied())
+                            .expect("stretch check");
                     (
                         graph.edge_count(),
                         outcome.spanner_size(),
@@ -84,4 +103,12 @@ fn main() {
     println!("{}", size_table.to_markdown());
     println!("{}", stretch_table.to_markdown());
     println!("{}", fit_table.to_markdown());
+
+    // With an output path argument, also record the tables as a JSON
+    // result file (the committed BENCH_*.json data points).
+    if let Some(path) = std::env::args().nth(1) {
+        let json = tables_to_json(&[&size_table, &stretch_table, &fit_table]);
+        std::fs::write(&path, json).expect("result file is writable");
+        eprintln!("wrote {path}");
+    }
 }

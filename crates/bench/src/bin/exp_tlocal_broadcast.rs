@@ -7,7 +7,9 @@
 //! `O(t log n + log² n)` rounds).
 
 use freelunch_baselines::{direct_flooding, gossip_broadcast};
-use freelunch_bench::{cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
+use freelunch_bench::{
+    cell_f64, cell_str, cell_u64, experiment_constants, ExperimentTable, Workload,
+};
 use freelunch_core::reduction::scheme::SamplerScheme;
 
 fn main() {
@@ -41,8 +43,8 @@ fn main() {
         ]);
         // The paper's scheme for γ = 1, 2.
         for gamma in [1u32, 2] {
-            let scheme = SamplerScheme::with_constants(gamma, experiment_constants())
-                .expect("valid gamma");
+            let scheme =
+                SamplerScheme::with_constants(gamma, experiment_constants()).expect("valid gamma");
             let report = scheme.run(&graph, t, 17).expect("scheme runs");
             table.push_row(vec![
                 cell_u64(u64::from(t)),

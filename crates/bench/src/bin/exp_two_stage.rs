@@ -29,8 +29,10 @@ fn main() {
         ],
     );
 
-    let second_stage_direct =
-        ClusterSpanner::new(1).expect("valid radius").construct(&graph, 3).expect("runs");
+    let second_stage_direct = ClusterSpanner::new(1)
+        .expect("valid radius")
+        .construct(&graph, 3)
+        .expect("runs");
 
     for t in [1u32, 2, 4, 8] {
         let scheme = TwoStageScheme::new(

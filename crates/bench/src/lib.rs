@@ -19,5 +19,7 @@
 pub mod table;
 pub mod workloads;
 
-pub use table::{cell_f64, cell_str, cell_u64, fit_power_law_exponent, ExperimentTable};
+pub use table::{
+    cell_f64, cell_str, cell_u64, fit_power_law_exponent, tables_to_json, ExperimentTable,
+};
 pub use workloads::{experiment_constants, experiment_params, Workload};

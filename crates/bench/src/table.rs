@@ -1,12 +1,14 @@
 //! Lightweight experiment tables: accumulate rows, print aligned text /
 //! markdown, export JSON.
 
-use serde::Serialize;
 use serde_json::Value;
 use std::fmt::Write as _;
 
 /// A table of experiment results with a fixed column set.
-#[derive(Debug, Clone, Serialize)]
+///
+/// JSON export goes through [`ExperimentTable::to_value`] explicitly; the
+/// offline `serde` stand-in cannot derive working serialisation.
+#[derive(Debug, Clone)]
 pub struct ExperimentTable {
     /// Table title (experiment identifier, e.g. "E1 / Theorem 2 size").
     pub title: String,
@@ -47,7 +49,15 @@ impl ExperimentTable {
         let mut out = String::new();
         let _ = writeln!(out, "### {}", self.title);
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(format_value).collect();
             let _ = writeln!(out, "| {} |", cells.join(" | "));
@@ -55,9 +65,35 @@ impl ExperimentTable {
         out
     }
 
+    /// The table as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("title".to_string(), Value::from(self.title.clone())),
+            (
+                "columns".to_string(),
+                Value::Array(
+                    self.columns
+                        .iter()
+                        .map(|c| Value::from(c.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows".to_string(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| Value::Array(row.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Serialises the table to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment tables are always serialisable")
+        serde_json::to_string_pretty(&self.to_value())
+            .expect("experiment tables are always serialisable")
     }
 }
 
@@ -77,6 +113,14 @@ fn format_value(value: &Value) -> String {
         Value::String(s) => s.clone(),
         other => other.to_string(),
     }
+}
+
+/// Combines several tables into one pretty-printed JSON document
+/// (an array of table objects), the format of the committed
+/// `BENCH_*.json` result files.
+pub fn tables_to_json(tables: &[&ExperimentTable]) -> String {
+    let doc = Value::Array(tables.iter().map(|t| t.to_value()).collect());
+    serde_json::to_string_pretty(&doc).expect("experiment tables are always serialisable")
 }
 
 /// Convenience macro-free helpers for building JSON cell values.
@@ -144,8 +188,9 @@ mod tests {
 
     #[test]
     fn power_law_fit_recovers_exponent() {
-        let points: Vec<(f64, f64)> =
-            (1..=8).map(|i| (f64::from(i) * 100.0, 3.0 * (f64::from(i) * 100.0).powf(1.4))).collect();
+        let points: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (f64::from(i) * 100.0, 3.0 * (f64::from(i) * 100.0).powf(1.4)))
+            .collect();
         let exponent = fit_power_law_exponent(&points).unwrap();
         assert!((exponent - 1.4).abs() < 1e-9);
         assert!(fit_power_law_exponent(&[(1.0, 2.0)]).is_none());

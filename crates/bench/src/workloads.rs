@@ -29,7 +29,12 @@ pub enum Workload {
 impl Workload {
     /// All workloads, in presentation order.
     pub fn all() -> [Workload; 4] {
-        [Workload::DenseRandom, Workload::SparseRandom, Workload::Complete, Workload::Communities]
+        [
+            Workload::DenseRandom,
+            Workload::SparseRandom,
+            Workload::Complete,
+            Workload::Communities,
+        ]
     }
 
     /// Short label used in experiment tables.
@@ -73,7 +78,10 @@ impl Workload {
 /// theorem is what is being reproduced, not its `whp` constants.
 /// EXPERIMENTS.md states this next to every affected table.
 pub fn experiment_constants() -> ConstantPolicy {
-    ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 }
+    ConstantPolicy::Practical {
+        target_factor: 4.0,
+        query_factor: 4.0,
+    }
 }
 
 /// The standard `Sampler` parameters used by an experiment for a given `k`
@@ -98,7 +106,11 @@ mod tests {
         for workload in Workload::all() {
             let graph = workload.build(192, 1).unwrap();
             assert_eq!(graph.node_count(), 192, "{}", workload.label());
-            assert!(is_connected(&graph), "{} should be connected", workload.label());
+            assert!(
+                is_connected(&graph),
+                "{} should be connected",
+                workload.label()
+            );
         }
     }
 

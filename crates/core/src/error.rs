@@ -54,7 +54,9 @@ impl From<freelunch_runtime::RuntimeError> for CoreError {
 impl CoreError {
     /// Convenience constructor for [`CoreError::InvalidParameter`].
     pub fn invalid_parameter(reason: impl Into<String>) -> Self {
-        CoreError::InvalidParameter { reason: reason.into() }
+        CoreError::InvalidParameter {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -71,12 +73,10 @@ mod tests {
         assert!(err.to_string().contains("k must be at least 1"));
         assert!(err.source().is_none());
 
-        let graph_err: CoreError =
-            freelunch_graph::GraphError::invalid_parameter("bad").into();
+        let graph_err: CoreError = freelunch_graph::GraphError::invalid_parameter("bad").into();
         assert!(graph_err.source().is_some());
 
-        let runtime_err: CoreError =
-            freelunch_runtime::RuntimeError::invalid_config("bad").into();
+        let runtime_err: CoreError = freelunch_runtime::RuntimeError::invalid_config("bad").into();
         assert!(runtime_err.source().is_some());
     }
 

@@ -57,12 +57,17 @@ impl ConstantPolicy {
             if value > 0.0 && value.is_finite() {
                 Ok(())
             } else {
-                Err(CoreError::invalid_parameter(format!("{name} must be positive, got {value}")))
+                Err(CoreError::invalid_parameter(format!(
+                    "{name} must be positive, got {value}"
+                )))
             }
         };
         match self {
             ConstantPolicy::Paper { c } => positive("c", *c),
-            ConstantPolicy::Practical { target_factor, query_factor } => {
+            ConstantPolicy::Practical {
+                target_factor,
+                query_factor,
+            } => {
                 positive("target_factor", *target_factor)?;
                 positive("query_factor", *query_factor)
             }
@@ -130,7 +135,13 @@ impl SamplerParams {
     /// Same conditions as [`SamplerParams::new`] plus positivity of the
     /// constants.
     pub fn with_constants(k: u32, h: u32, constants: ConstantPolicy) -> CoreResult<Self> {
-        SamplerParams { k, h, constants, fallback: FallbackPolicy::default() }.validated()
+        SamplerParams {
+            k,
+            h,
+            constants,
+            fallback: FallbackPolicy::default(),
+        }
+        .validated()
     }
 
     /// Returns a copy using the given fallback policy.
@@ -214,7 +225,9 @@ impl SamplerParams {
 
     /// Center-marking probability at level `j`: `p_j = n^{-2^j δ}`.
     pub fn center_probability(&self, level: u32, n: usize) -> f64 {
-        (n as f64).powf(-(f64::from(1u32 << level)) * self.delta()).clamp(0.0, 1.0)
+        (n as f64)
+            .powf(-(f64::from(1u32 << level)) * self.delta())
+            .clamp(0.0, 1.0)
     }
 
     /// Neighbor-finding target at level `j` (the `min{…, |N_j(v)|}` is taken
@@ -266,7 +279,10 @@ mod tests {
         assert!(SamplerParams::with_constants(
             2,
             4,
-            ConstantPolicy::Practical { target_factor: -1.0, query_factor: 2.0 }
+            ConstantPolicy::Practical {
+                target_factor: -1.0,
+                query_factor: 2.0
+            }
         )
         .is_err());
     }
@@ -308,7 +324,10 @@ mod tests {
         let practical = SamplerParams::with_constants(
             2,
             4,
-            ConstantPolicy::Practical { target_factor: 2.0, query_factor: 4.0 },
+            ConstantPolicy::Practical {
+                target_factor: 2.0,
+                query_factor: 4.0,
+            },
         )
         .unwrap();
         assert!(paper.neighbor_target(1, n) > paper.neighbor_target(0, n));
@@ -348,8 +367,13 @@ mod tests {
 
     #[test]
     fn fallback_builder() {
-        let params = SamplerParams::new(2, 3).unwrap().fallback(FallbackPolicy::None);
+        let params = SamplerParams::new(2, 3)
+            .unwrap()
+            .fallback(FallbackPolicy::None);
         assert_eq!(params.fallback, FallbackPolicy::None);
-        assert_eq!(SamplerParams::new(2, 3).unwrap().fallback, FallbackPolicy::QueryRemaining);
+        assert_eq!(
+            SamplerParams::new(2, 3).unwrap().fallback,
+            FallbackPolicy::QueryRemaining
+        );
     }
 }

@@ -28,4 +28,4 @@ pub mod two_stage;
 pub use scheme::{SamplerScheme, SchemeReport};
 pub use simulate::{simulate_with_spanner, SimulationReport};
 pub use tlocal::{t_local_broadcast, BroadcastOutcome};
-pub use two_stage::{TwoStageScheme, TwoStageReport};
+pub use two_stage::{TwoStageReport, TwoStageScheme};

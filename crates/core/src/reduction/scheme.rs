@@ -33,7 +33,11 @@ impl SamplerScheme {
     /// Returns an error if `γ` is zero or larger than 10 (the induced
     /// `h = 2^{γ+1} − 1` would be astronomically large beyond that).
     pub fn new(gamma: u32) -> CoreResult<Self> {
-        SamplerScheme { gamma, constants: ConstantPolicy::default() }.validated()
+        SamplerScheme {
+            gamma,
+            constants: ConstantPolicy::default(),
+        }
+        .validated()
     }
 
     /// Creates the scheme with explicit constants.
@@ -92,8 +96,12 @@ impl SamplerScheme {
         let params = self.sampler_params()?;
         let sampler = Sampler::new(params);
         let spanner = sampler.run(graph, seed)?;
-        let broadcast =
-            t_local_broadcast(graph, spanner.spanner_edges().iter().copied(), t, self.stretch())?;
+        let broadcast = t_local_broadcast(
+            graph,
+            spanner.spanner_edges().iter().copied(),
+            t,
+            self.stretch(),
+        )?;
         Ok(SchemeReport::assemble(self, graph, t, spanner, broadcast))
     }
 }
@@ -161,7 +169,10 @@ mod tests {
     fn practical(gamma: u32) -> SamplerScheme {
         SamplerScheme::with_constants(
             gamma,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 8.0,
+            },
         )
         .unwrap()
     }
@@ -199,8 +210,14 @@ mod tests {
             report.spanner_cost.rounds + report.broadcast_cost.rounds
         );
         // The flooding runs for stretch·t rounds.
-        assert_eq!(report.broadcast_cost.rounds, u64::from(scheme.stretch() * t));
-        assert_eq!(report.naive_message_bound(), 2 * u64::from(t) * graph.edge_count() as u64);
+        assert_eq!(
+            report.broadcast_cost.rounds,
+            u64::from(scheme.stretch() * t)
+        );
+        assert_eq!(
+            report.naive_message_bound(),
+            2 * u64::from(t) * graph.edge_count() as u64
+        );
     }
 
     #[test]

@@ -82,6 +82,7 @@ impl SimulationReport {
 /// # Errors
 ///
 /// Propagates runtime and graph errors.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_with_spanner<P, F, O>(
     graph: &MultiGraph,
     spanner_edges: &[EdgeId],
@@ -105,15 +106,16 @@ where
     let direct_outputs: Vec<O> = direct.programs().iter().map(&output).collect();
 
     // The message-reduced execution: t-local broadcast on the spanner.
-    let broadcast =
-        t_local_broadcast(graph, spanner_edges.iter().copied(), t, spanner_stretch)?;
+    let broadcast = t_local_broadcast(graph, spanner_edges.iter().copied(), t, spanner_stretch)?;
 
     // Ball-sufficiency verification on an evenly spread sample of nodes.
     let n = graph.node_count();
     let to_check = check_nodes.min(n);
     let mut mismatches = 0usize;
-    if to_check > 0 {
-        let step = (n / to_check).max(1);
+    // `checked_div` is `None` exactly when `to_check == 0`, i.e. when the
+    // caller asked for no verification samples.
+    if let Some(step) = n.checked_div(to_check) {
+        let step = step.max(1);
         for index in (0..n).step_by(step).take(to_check) {
             let node = NodeId::from_usize(index);
             let ball_nodes: HashSet<NodeId> = ball(graph, node, t)?.into_iter().collect();
@@ -126,7 +128,8 @@ where
                 .map(|e| e.id)
                 .collect();
             let ball_graph = graph.edge_subgraph(edges)?;
-            let mut local = Network::new(&ball_graph, config, |v, knowledge| factory(v, knowledge))?;
+            let mut local =
+                Network::new(&ball_graph, config, |v, knowledge| factory(v, knowledge))?;
             local.run_rounds(t)?;
             let local_output = output(&local.programs()[index]);
             if local_output != direct_outputs[index] {
@@ -252,7 +255,13 @@ mod tests {
         assert_eq!(report.nodes_checked, 0);
         assert_eq!(report.mismatches, 0);
         // The supplied spanner cost is included in the simulated total.
-        assert_eq!(report.simulated_cost.messages, 100 + report.broadcast_cost.messages);
-        assert_eq!(report.simulated_cost.rounds, 5 + report.broadcast_cost.rounds);
+        assert_eq!(
+            report.simulated_cost.messages,
+            100 + report.broadcast_cost.messages
+        );
+        assert_eq!(
+            report.simulated_cost.rounds,
+            5 + report.broadcast_cost.rounds
+        );
     }
 }

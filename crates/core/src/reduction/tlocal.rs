@@ -25,7 +25,10 @@ struct BitMatrix {
 impl BitMatrix {
     fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
-        BitMatrix { words_per_row, data: vec![0; n * words_per_row] }
+        BitMatrix {
+            words_per_row,
+            data: vec![0; n * words_per_row],
+        }
     }
 
     fn set(&mut self, row: usize, column: usize) -> bool {
@@ -121,16 +124,16 @@ pub fn flood_on_subgraph(
 
     let mut known = BitMatrix::new(n);
     let mut fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for v in 0..n {
+    for (v, fresh_v) in fresh.iter_mut().enumerate() {
         known.set(v, v);
-        fresh[v].push(v as u32);
+        fresh_v.push(v as u32);
     }
 
     let mut messages = 0u64;
     for _round in 0..radius {
         let mut next_fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if fresh[v].is_empty() {
+        for (v, fresh_v) in fresh.iter().enumerate() {
+            if fresh_v.is_empty() {
                 continue;
             }
             let incident = subgraph.incident_edges(NodeId::from_usize(v));
@@ -138,7 +141,7 @@ pub fn flood_on_subgraph(
             messages += incident.len() as u64;
             for ie in incident {
                 let u = ie.neighbor.index();
-                for &token in &fresh[v] {
+                for &token in fresh_v {
                     if known.set(u, token as usize) {
                         next_fresh[u].push(token);
                     }
@@ -150,11 +153,17 @@ pub fn flood_on_subgraph(
 
     let tokens_received = (0..n).map(|v| known.count_row(v)).collect();
     Ok(BroadcastOutcome {
-        cost: CostReport { rounds: u64::from(radius), messages },
+        cost: CostReport {
+            rounds: u64::from(radius),
+            messages,
+        },
         radius,
         tokens_received,
         subgraph_edges: subgraph.edge_count(),
-        known: Some(KnownTokens { words_per_row: known.words_per_row, data: known.data }),
+        known: Some(KnownTokens {
+            words_per_row: known.words_per_row,
+            data: known.data,
+        }),
     })
 }
 
@@ -171,7 +180,9 @@ pub fn t_local_broadcast(
     stretch: u32,
 ) -> CoreResult<BroadcastOutcome> {
     if stretch == 0 {
-        return Err(CoreError::invalid_parameter("the stretch must be at least 1"));
+        return Err(CoreError::invalid_parameter(
+            "the stretch must be at least 1",
+        ));
     }
     flood_on_subgraph(graph, spanner_edges, stretch.saturating_mul(t))
 }

@@ -43,7 +43,11 @@ impl<S: SpannerAlgorithm> TwoStageScheme<S> {
                 "gamma must be in 1..=10, got {gamma}"
             )));
         }
-        Ok(TwoStageScheme { gamma, constants, second_stage })
+        Ok(TwoStageScheme {
+            gamma,
+            constants,
+            second_stage,
+        })
     }
 
     /// The `γ` value the paper recommends for locality parameter `t`:
@@ -168,7 +172,10 @@ mod tests {
     fn scheme() -> TwoStageScheme<KeepAll> {
         TwoStageScheme::new(
             1,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 8.0,
+            },
             KeepAll,
         )
         .unwrap()

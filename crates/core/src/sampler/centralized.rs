@@ -65,7 +65,10 @@ impl Sampler {
     /// Creates a sampler with the given parameters and the default cost
     /// model.
     pub fn new(params: SamplerParams) -> Self {
-        Sampler { params, cost_model: DistributedCostModel::default() }
+        Sampler {
+            params,
+            cost_model: DistributedCostModel::default(),
+        }
     }
 
     /// Creates a sampler with an explicit distributed cost model.
@@ -139,10 +142,11 @@ impl Sampler {
             // Step 2: center marking and clustering (all levels but the last).
             let p = self.params.center_probability(level, n0);
             let mut is_center = vec![false; current_graph.node_count()];
-            let mut joined_to: Vec<Option<(usize, EdgeId)>> = vec![None; current_graph.node_count()];
+            let mut joined_to: Vec<Option<(usize, EdgeId)>> =
+                vec![None; current_graph.node_count()];
             if !is_last {
-                for v in 0..current_graph.node_count() {
-                    is_center[v] = rng.gen_bool(p);
+                for center in is_center.iter_mut() {
+                    *center = rng.gen_bool(p);
                 }
                 for v in 0..current_graph.node_count() {
                     if is_center[v] {
@@ -192,8 +196,7 @@ impl Sampler {
             }
 
             // Distributed cost of this level (Section 5 accounting).
-            let join_messages =
-                2 * joined_to.iter().filter(|j| j.is_some()).count() as u64;
+            let join_messages = 2 * joined_to.iter().filter(|j| j.is_some()).count() as u64;
             let activity = LevelActivity {
                 trial_slots: step.trial_slots,
                 query_messages,
@@ -205,7 +208,10 @@ impl Sampler {
 
             let light = classes.iter().filter(|c| c.is_light()).count();
             let heavy = classes.iter().filter(|c| c.is_heavy()).count();
-            let ambiguous = classes.iter().filter(|c| **c == NodeClass::Ambiguous).count();
+            let ambiguous = classes
+                .iter()
+                .filter(|c| **c == NodeClass::Ambiguous)
+                .count();
             let centers = is_center.iter().filter(|&&c| c).count();
             let clustered = joined_to.iter().filter(|j| j.is_some()).count();
 
@@ -383,7 +389,13 @@ impl Sampler {
             trial_slots = trial_slots.max(trials_used);
         }
 
-        SamplingStep { f_edges, classes, query_messages, trial_slots, query_edges }
+        SamplingStep {
+            f_edges,
+            classes,
+            query_messages,
+            trial_slots,
+            query_edges,
+        }
     }
 
     /// Step 2 aftermath: build the cluster assignment, merge the cluster
@@ -411,7 +423,10 @@ impl Sampler {
         for (v, join) in joined_to.iter().enumerate() {
             if let Some((center, edge)) = join {
                 assignment.assign(NodeId::from_usize(v), cluster_of_center[center])?;
-                joined_by_center.entry(*center).or_default().push((v, *edge));
+                joined_by_center
+                    .entry(*center)
+                    .or_default()
+                    .push((v, *edge));
             }
         }
 
@@ -421,7 +436,11 @@ impl Sampler {
                 .get(&center)
                 .map(|list| list.iter().map(|(v, e)| (&clusters[*v], *e)).collect())
                 .unwrap_or_default();
-            next_clusters.push(ClusterInfo::merge(&clusters[center], &joined, original_graph));
+            next_clusters.push(ClusterInfo::merge(
+                &clusters[center],
+                &joined,
+                original_graph,
+            ));
         }
 
         let contraction = contract(level_graph, &assignment)?;
@@ -486,22 +505,29 @@ fn build_level_trace(
     let centers: Vec<NodeId> = is_center
         .iter()
         .enumerate()
-        .filter_map(|(v, &c)| c.then(|| clusters[v].root))
+        .filter(|&(_, &c)| c)
+        .map(|(v, _)| clusters[v].root)
         .collect();
     let mut grouped: HashMap<usize, Vec<NodeId>> = HashMap::new();
     for (v, &center) in is_center.iter().enumerate() {
         if center {
-            grouped.entry(v).or_default().extend(clusters[v].members.iter().copied());
+            grouped
+                .entry(v)
+                .or_default()
+                .extend(clusters[v].members.iter().copied());
         }
     }
     for (v, join) in joined_to.iter().enumerate() {
         if let Some((center, _)) = join {
-            grouped.entry(*center).or_default().extend(clusters[v].members.iter().copied());
+            grouped
+                .entry(*center)
+                .or_default()
+                .extend(clusters[v].members.iter().copied());
         }
     }
     let mut cluster_members: Vec<Vec<NodeId>> = grouped
-        .into_iter()
-        .map(|(_, mut members)| {
+        .into_values()
+        .map(|mut members| {
             members.sort_unstable();
             members
         })
@@ -650,7 +676,10 @@ mod tests {
         SamplerParams::with_constants(
             k,
             h,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 8.0,
+            },
         )
         .unwrap()
     }
@@ -664,8 +693,7 @@ mod tests {
     #[test]
     fn spanner_respects_stretch_bound_on_random_graphs() {
         for (k, seed) in [(1u32, 1u64), (2, 2), (3, 3)] {
-            let graph =
-                connected_erdos_renyi(&GeneratorConfig::new(120, seed), 0.15).unwrap();
+            let graph = connected_erdos_renyi(&GeneratorConfig::new(120, seed), 0.15).unwrap();
             let params = practical_params(k, 3);
             let outcome = Sampler::new(params).run(&graph, seed).unwrap();
             let report =
@@ -685,8 +713,9 @@ mod tests {
         let graph = connected_erdos_renyi(&GeneratorConfig::new(100, 9), 0.2).unwrap();
         let params = practical_params(2, 3);
         let outcome = Sampler::new(params).run(&graph, 4).unwrap();
-        let spanner =
-            graph.edge_subgraph(outcome.spanner_edges().iter().copied()).unwrap();
+        let spanner = graph
+            .edge_subgraph(outcome.spanner_edges().iter().copied())
+            .unwrap();
         assert!(is_connected(&spanner));
     }
 
@@ -727,8 +756,7 @@ mod tests {
             outcome.spanner_size(),
             graph.edge_count()
         );
-        let report =
-            verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied()).unwrap();
+        let report = verify_edge_stretch(&graph, outcome.spanner_edges().iter().copied()).unwrap();
         assert!(report.satisfies(params.stretch_bound()));
     }
 
@@ -821,7 +849,10 @@ mod tests {
         // F edges are a subset of the query edges at every level.
         for level in &trace.levels {
             for edge in &level.f_edges {
-                assert!(level.query_edges.contains(edge), "F edge {edge} was never queried");
+                assert!(
+                    level.query_edges.contains(edge),
+                    "F edge {edge} was never queried"
+                );
             }
         }
         // Clusters and unclustered roots partition the level-0 nodes.
@@ -837,7 +868,10 @@ mod tests {
         let params = SamplerParams::with_constants(
             2,
             1,
-            ConstantPolicy::Practical { target_factor: 0.5, query_factor: 0.5 },
+            ConstantPolicy::Practical {
+                target_factor: 0.5,
+                query_factor: 0.5,
+            },
         )
         .unwrap()
         .fallback(FallbackPolicy::None);

@@ -88,7 +88,12 @@ mod tests {
     use super::*;
 
     fn trees(tree_edges_total: u64, max_root_depth: u32) -> LevelTreeStats {
-        LevelTreeStats { tree_edges_total, max_root_depth, clusters: 10, covered_nodes: 20 }
+        LevelTreeStats {
+            tree_edges_total,
+            max_root_depth,
+            clusters: 10,
+            covered_nodes: 20,
+        }
     }
 
     #[test]

@@ -106,11 +106,7 @@ pub struct Level0Program {
 impl Level0Program {
     /// Creates the program for one node given its initial knowledge.
     pub fn new(config: Level0Config, knowledge: &InitialKnowledge) -> Self {
-        let unexplored = knowledge
-            .ports
-            .iter()
-            .filter_map(|p| p.edge_id)
-            .collect();
+        let unexplored = knowledge.ports.iter().filter_map(|p| p.edge_id).collect();
         Level0Program {
             config,
             is_center: false,
@@ -164,7 +160,12 @@ impl NodeProgram for Level0Program {
         for envelope in inbox {
             match envelope.payload {
                 Level0Message::Query => {
-                    ctx.send(envelope.edge, Level0Message::Reply { is_center: self.is_center });
+                    ctx.send(
+                        envelope.edge,
+                        Level0Message::Reply {
+                            is_center: self.is_center,
+                        },
+                    );
                 }
                 Level0Message::Reply { is_center } => {
                     if self.pending.remove(&envelope.edge)
@@ -254,7 +255,11 @@ mod tests {
         .unwrap();
         network.run_until_halt(config.round_budget()).unwrap();
         let cost = network.cost();
-        let outputs = network.programs().iter().map(Level0Program::output).collect();
+        let outputs = network
+            .programs()
+            .iter()
+            .map(Level0Program::output)
+            .collect();
         (outputs, cost)
     }
 
@@ -262,7 +267,10 @@ mod tests {
         SamplerParams::with_constants(
             2,
             3,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 8.0,
+            },
         )
         .unwrap()
     }
@@ -298,7 +306,10 @@ mod tests {
                 assert!(!output.is_center, "centers never join another cluster");
                 let node = freelunch_graph::NodeId::from_usize(v);
                 let other = graph.other_endpoint(edge, node).unwrap();
-                assert!(outputs[other.index()].is_center, "join edge must lead to a center");
+                assert!(
+                    outputs[other.index()].is_center,
+                    "join edge must lead to a center"
+                );
             }
         }
     }
@@ -325,7 +336,10 @@ mod tests {
         let params = SamplerParams::with_constants(
             2,
             7,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 4.0,
+            },
         )
         .unwrap();
         let (outputs, cost) = run_level0(&graph, &params, 3);
@@ -350,7 +364,10 @@ mod tests {
         let centralized = Sampler::new(params).run(&graph, 21).unwrap();
         let level0 = &centralized.levels[0];
 
-        let distributed_heavy = outputs.iter().filter(|o| o.class == NodeClass::Heavy).count();
+        let distributed_heavy = outputs
+            .iter()
+            .filter(|o| o.class == NodeClass::Heavy)
+            .count();
         // Both executions classify the overwhelming majority of nodes of a
         // dense graph as heavy (randomness differs, so allow slack).
         assert!(distributed_heavy as f64 > 0.5 * graph.node_count() as f64);
@@ -359,7 +376,10 @@ mod tests {
         // distributed run adds join/ack and reply traffic).
         let centralized_messages = level0.query_messages + level0.join_messages;
         let ratio = cost.messages as f64 / centralized_messages as f64;
-        assert!(ratio > 0.2 && ratio < 5.0, "message ratio {ratio} out of range");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "message ratio {ratio} out of range"
+        );
     }
 
     #[test]

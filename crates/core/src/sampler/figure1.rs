@@ -82,8 +82,16 @@ mod tests {
     fn lookup_by_level() {
         let trace = Figure1Trace {
             levels: vec![
-                LevelTrace { level: 0, nodes: 10, ..LevelTrace::default() },
-                LevelTrace { level: 1, nodes: 4, ..LevelTrace::default() },
+                LevelTrace {
+                    level: 0,
+                    nodes: 10,
+                    ..LevelTrace::default()
+                },
+                LevelTrace {
+                    level: 1,
+                    nodes: 4,
+                    ..LevelTrace::default()
+                },
             ],
         };
         assert_eq!(trace.level(1).unwrap().nodes, 4);
@@ -94,8 +102,19 @@ mod tests {
     fn display_is_one_line_per_level() {
         let trace = Figure1Trace {
             levels: vec![
-                LevelTrace { level: 0, nodes: 6, edges: 9, next_level_nodes: Some(2), ..LevelTrace::default() },
-                LevelTrace { level: 1, nodes: 2, edges: 1, ..LevelTrace::default() },
+                LevelTrace {
+                    level: 0,
+                    nodes: 6,
+                    edges: 9,
+                    next_level_nodes: Some(2),
+                    ..LevelTrace::default()
+                },
+                LevelTrace {
+                    level: 1,
+                    nodes: 2,
+                    edges: 1,
+                    ..LevelTrace::default()
+                },
             ],
         };
         let text = trace.to_string();

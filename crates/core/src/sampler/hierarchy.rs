@@ -33,7 +33,12 @@ pub struct ClusterInfo {
 impl ClusterInfo {
     /// A singleton cluster containing only `node` (the level-0 state).
     pub fn singleton(node: NodeId) -> Self {
-        ClusterInfo { members: vec![node], tree_edges: Vec::new(), root: node, depth: 0 }
+        ClusterInfo {
+            members: vec![node],
+            tree_edges: Vec::new(),
+            root: node,
+            depth: 0,
+        }
     }
 
     /// Number of original nodes in the cluster.
@@ -48,7 +53,11 @@ impl ClusterInfo {
     /// The resulting tree is the union of the constituent trees plus the
     /// connecting edges; the root stays the center's root. The root
     /// eccentricity is recomputed exactly by a BFS over the tree edges.
-    pub fn merge(center: &ClusterInfo, joined: &[(&ClusterInfo, EdgeId)], graph: &MultiGraph) -> Self {
+    pub fn merge(
+        center: &ClusterInfo,
+        joined: &[(&ClusterInfo, EdgeId)],
+        graph: &MultiGraph,
+    ) -> Self {
         let mut members = center.members.clone();
         let mut tree_edges = center.tree_edges.clone();
         for (cluster, connector) in joined {
@@ -61,7 +70,12 @@ impl ClusterInfo {
         tree_edges.sort_unstable();
         tree_edges.dedup();
         let depth = root_eccentricity(&members, &tree_edges, center.root, graph);
-        ClusterInfo { members, tree_edges, root: center.root, depth }
+        ClusterInfo {
+            members,
+            tree_edges,
+            root: center.root,
+            depth,
+        }
     }
 }
 
@@ -93,8 +107,8 @@ pub fn root_eccentricity(
         eccentricity = eccentricity.max(du);
         if let Some(neighbors) = adjacency.get(&u) {
             for &v in neighbors {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
+                if let std::collections::hash_map::Entry::Vacant(entry) = dist.entry(v) {
+                    entry.insert(du + 1);
                     queue.push_back(v);
                 }
             }
@@ -139,7 +153,13 @@ mod tests {
     fn graph() -> MultiGraph {
         MultiGraph::from_edges(
             6,
-            [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4)), (n(0), n(5))],
+            [
+                (n(0), n(1)),
+                (n(1), n(2)),
+                (n(2), n(3)),
+                (n(3), n(4)),
+                (n(0), n(5)),
+            ],
         )
         .unwrap()
     }

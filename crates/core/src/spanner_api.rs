@@ -39,7 +39,9 @@ impl SpannerResult {
     /// The flooding radius needed to cover `B_{G,t}(v)` on this spanner:
     /// `α·t + β`.
     pub fn flooding_radius(&self, t: u32) -> u32 {
-        self.multiplicative_stretch.saturating_mul(t).saturating_add(self.additive_stretch)
+        self.multiplicative_stretch
+            .saturating_mul(t)
+            .saturating_add(self.additive_stretch)
     }
 }
 
@@ -101,7 +103,10 @@ mod tests {
         let params = SamplerParams::with_constants(
             2,
             3,
-            ConstantPolicy::Practical { target_factor: 4.0, query_factor: 8.0 },
+            ConstantPolicy::Practical {
+                target_factor: 4.0,
+                query_factor: 8.0,
+            },
         )
         .unwrap();
         let sampler = Sampler::new(params);

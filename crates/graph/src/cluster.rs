@@ -47,7 +47,10 @@ impl ClusterAssignment {
     /// Creates an assignment over `node_count` nodes with every node
     /// unclustered and no clusters declared.
     pub fn unclustered(node_count: usize) -> Self {
-        ClusterAssignment { cluster_of: vec![None; node_count], cluster_count: 0 }
+        ClusterAssignment {
+            cluster_of: vec![None; node_count],
+            cluster_count: 0,
+        }
     }
 
     /// Builds an assignment from an explicit per-node table.
@@ -64,7 +67,10 @@ impl ClusterAssignment {
                 });
             }
         }
-        Ok(ClusterAssignment { cluster_of: table, cluster_count })
+        Ok(ClusterAssignment {
+            cluster_of: table,
+            cluster_count,
+        })
     }
 
     /// Number of nodes covered by this assignment (clustered or not).
@@ -95,7 +101,10 @@ impl ClusterAssignment {
     /// Returns an error if `node` is out of range.
     pub fn assign(&mut self, node: NodeId, cluster: ClusterId) -> GraphResult<()> {
         if node.index() >= self.cluster_of.len() {
-            return Err(GraphError::NodeOutOfRange { node, node_count: self.cluster_of.len() });
+            return Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.cluster_of.len(),
+            });
         }
         self.cluster_of[node.index()] = Some(cluster);
         self.cluster_count = self.cluster_count.max(cluster.index() + 1);
@@ -112,7 +121,8 @@ impl ClusterAssignment {
         self.cluster_of
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| (*c == Some(cluster)).then(|| NodeId::from_usize(i)))
+            .filter(|(_, c)| **c == Some(cluster))
+            .map(|(i, _)| NodeId::from_usize(i))
             .collect()
     }
 
@@ -121,7 +131,8 @@ impl ClusterAssignment {
         self.cluster_of
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| c.is_some().then(|| NodeId::from_usize(i)))
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| NodeId::from_usize(i))
             .collect()
     }
 
@@ -130,7 +141,8 @@ impl ClusterAssignment {
         self.cluster_of
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| c.is_none().then(|| NodeId::from_usize(i)))
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| NodeId::from_usize(i))
             .collect()
     }
 
@@ -152,7 +164,9 @@ impl ClusterAssignment {
     pub fn require_nonempty_clusters(&self) -> GraphResult<()> {
         for (i, size) in self.cluster_sizes().iter().enumerate() {
             if *size == 0 {
-                return Err(GraphError::invalid_parameter(format!("cluster C{i} is empty")));
+                return Err(GraphError::invalid_parameter(format!(
+                    "cluster C{i} is empty"
+                )));
             }
         }
         Ok(())
@@ -209,7 +223,11 @@ pub fn contract(graph: &MultiGraph, assignment: &ClusterAssignment) -> GraphResu
         }
     }
 
-    Ok(Contraction { graph: cluster_graph, parent_endpoints, dropped_edges: dropped })
+    Ok(Contraction {
+        graph: cluster_graph,
+        parent_endpoints,
+        dropped_edges: dropped,
+    })
 }
 
 #[cfg(test)]

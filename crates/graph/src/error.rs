@@ -81,7 +81,9 @@ impl Error for GraphError {}
 impl GraphError {
     /// Convenience constructor for [`GraphError::InvalidParameter`].
     pub fn invalid_parameter(reason: impl Into<String>) -> Self {
-        GraphError::InvalidParameter { reason: reason.into() }
+        GraphError::InvalidParameter {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -94,11 +96,16 @@ mod tests {
 
     #[test]
     fn display_mentions_offender() {
-        let err = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        let err = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 4,
+        };
         assert!(err.to_string().contains("v9"));
         assert!(err.to_string().contains('4'));
 
-        let err = GraphError::UnknownEdge { edge: EdgeId::new(5) };
+        let err = GraphError::UnknownEdge {
+            edge: EdgeId::new(5),
+        };
         assert!(err.to_string().contains("e5"));
 
         let err = GraphError::invalid_parameter("p must be in [0, 1]");
@@ -114,8 +121,12 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(
-            GraphError::SelfLoop { node: NodeId::new(1) },
-            GraphError::SelfLoop { node: NodeId::new(1) }
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            },
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
         );
         assert_ne!(
             GraphError::Disconnected { components: 2 },

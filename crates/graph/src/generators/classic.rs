@@ -113,7 +113,9 @@ pub fn torus_2d(rows: usize, cols: usize) -> GraphResult<MultiGraph> {
 /// million nodes is outside the scope of the simulator).
 pub fn hypercube(dimension: u32) -> GraphResult<MultiGraph> {
     if dimension == 0 || dimension > 20 {
-        return Err(GraphError::invalid_parameter("hypercube dimension must be in 1..=20"));
+        return Err(GraphError::invalid_parameter(
+            "hypercube dimension must be in 1..=20",
+        ));
     }
     let n = 1usize << dimension;
     let mut graph = MultiGraph::with_capacity(n, n * dimension as usize / 2);

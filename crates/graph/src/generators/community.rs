@@ -29,7 +29,11 @@ impl PlantedPartitionParams {
     ///
     /// Returns an error if either probability is outside `[0, 1]` or there
     /// are no communities.
-    pub fn new(communities: usize, intra_probability: f64, inter_probability: f64) -> GraphResult<Self> {
+    pub fn new(
+        communities: usize,
+        intra_probability: f64,
+        inter_probability: f64,
+    ) -> GraphResult<Self> {
         if communities == 0 {
             return Err(GraphError::invalid_parameter("need at least one community"));
         }
@@ -40,7 +44,11 @@ impl PlantedPartitionParams {
                 )));
             }
         }
-        Ok(PlantedPartitionParams { communities, intra_probability, inter_probability })
+        Ok(PlantedPartitionParams {
+            communities,
+            intra_probability,
+            inter_probability,
+        })
     }
 }
 
@@ -63,7 +71,9 @@ pub fn planted_partition(
     let kappa = params.communities;
     let block = n / kappa;
     if block == 0 {
-        return Err(GraphError::invalid_parameter("each community must contain at least one node"));
+        return Err(GraphError::invalid_parameter(
+            "each community must contain at least one node",
+        ));
     }
     let community_of = |v: usize| (v / block).min(kappa - 1);
 
@@ -75,8 +85,12 @@ pub fn planted_partition(
             // Backbone edges guaranteeing connectivity: consecutive nodes in a
             // block, and the first nodes of consecutive blocks.
             let backbone = (v == u + 1 && same)
-                || (same == false && u == community_of(u) * block && v == community_of(v) * block);
-            let p = if same { params.intra_probability } else { params.inter_probability };
+                || (!same && u == community_of(u) * block && v == community_of(v) * block);
+            let p = if same {
+                params.intra_probability
+            } else {
+                params.inter_probability
+            };
             if backbone || rng.gen_bool(p) {
                 graph.add_edge(NodeId::from_usize(u), NodeId::from_usize(v))?;
             }
@@ -96,7 +110,9 @@ pub fn planted_partition(
 pub fn dumbbell(config: &GeneratorConfig, clique_size: usize) -> GraphResult<MultiGraph> {
     let n = config.nodes;
     if clique_size == 0 {
-        return Err(GraphError::invalid_parameter("clique size must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "clique size must be positive",
+        ));
     }
     if 2 * clique_size > n {
         return Err(GraphError::invalid_parameter(format!(
@@ -122,7 +138,10 @@ pub fn dumbbell(config: &GeneratorConfig, clique_size: usize) -> GraphResult<Mul
         graph.add_edge(NodeId::from_usize(previous), NodeId::from_usize(middle))?;
         previous = middle;
     }
-    graph.add_edge(NodeId::from_usize(previous), NodeId::from_usize(right_start))?;
+    graph.add_edge(
+        NodeId::from_usize(previous),
+        NodeId::from_usize(right_start),
+    )?;
     Ok(graph)
 }
 

@@ -22,7 +22,9 @@ mod community;
 mod random;
 mod scale_free;
 
-pub use classic::{balanced_binary_tree, complete_graph, cycle_graph, hypercube, path_graph, star_graph, torus_2d};
+pub use classic::{
+    balanced_binary_tree, complete_graph, cycle_graph, hypercube, path_graph, star_graph, torus_2d,
+};
 pub use community::{dumbbell, planted_partition, PlantedPartitionParams};
 pub use random::{connected_erdos_renyi, erdos_renyi, gnm_random, random_regular};
 pub use scale_free::barabasi_albert;
@@ -120,7 +122,10 @@ mod tests {
         assert_eq!(complete_graph(&config).unwrap().node_count(), 32);
         assert_eq!(star_graph(&config).unwrap().node_count(), 32);
         assert_eq!(hypercube(5).unwrap().node_count(), 32);
-        assert_eq!(connected_erdos_renyi(&config, 0.1).unwrap().node_count(), 32);
+        assert_eq!(
+            connected_erdos_renyi(&config, 0.1).unwrap().node_count(),
+            32
+        );
         assert_eq!(barabasi_albert(&config, 3).unwrap().node_count(), 32);
     }
 
@@ -130,6 +135,8 @@ mod tests {
         assert!(is_connected(&connected_erdos_renyi(&config, 0.05).unwrap()));
         assert!(is_connected(&barabasi_albert(&config, 2).unwrap()));
         assert!(is_connected(&complete_graph(&config).unwrap()));
-        assert!(is_connected(&dumbbell(&GeneratorConfig::new(41, 1), 15).unwrap()));
+        assert!(is_connected(
+            &dumbbell(&GeneratorConfig::new(41, 1), 15).unwrap()
+        ));
     }
 }

@@ -11,7 +11,9 @@ fn check_probability(p: f64) -> GraphResult<()> {
     if (0.0..=1.0).contains(&p) && p.is_finite() {
         Ok(())
     } else {
-        Err(GraphError::invalid_parameter(format!("edge probability must be in [0, 1], got {p}")))
+        Err(GraphError::invalid_parameter(format!(
+            "edge probability must be in [0, 1], got {p}"
+        )))
     }
 }
 
@@ -127,8 +129,10 @@ pub fn random_regular(config: &GeneratorConfig, degree: usize) -> GraphResult<Mu
             "degree {degree} must be smaller than the node count {n}"
         )));
     }
-    if (n * degree) % 2 != 0 {
-        return Err(GraphError::invalid_parameter("n * degree must be even for a regular graph"));
+    if !(n * degree).is_multiple_of(2) {
+        return Err(GraphError::invalid_parameter(
+            "n * degree must be even for a regular graph",
+        ));
     }
     if degree == 0 {
         return Ok(MultiGraph::new(n));
@@ -137,8 +141,9 @@ pub fn random_regular(config: &GeneratorConfig, degree: usize) -> GraphResult<Mu
     let mut rng = config.rng();
     const MAX_ATTEMPTS: usize = 500;
     'attempt: for _ in 0..MAX_ATTEMPTS {
-        let mut remaining: Vec<usize> =
-            (0..n).flat_map(|v| std::iter::repeat(v).take(degree)).collect();
+        let mut remaining: Vec<usize> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, degree))
+            .collect();
         let mut seen = std::collections::HashSet::with_capacity(n * degree / 2);
         let mut edges = Vec::with_capacity(n * degree / 2);
         while !remaining.is_empty() {
@@ -213,7 +218,10 @@ mod tests {
         let g = erdos_renyi(&cfg(n, 3), p).unwrap();
         let expected = p * (n * (n - 1)) as f64 / 2.0;
         let actual = g.edge_count() as f64;
-        assert!((actual - expected).abs() < 0.25 * expected, "edge count {actual} far from {expected}");
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "edge count {actual} far from {expected}"
+        );
         assert!(g.is_simple());
     }
 
@@ -221,7 +229,10 @@ mod tests {
     fn connected_variant_is_connected_even_when_sparse() {
         for seed in 0..5 {
             let g = connected_erdos_renyi(&cfg(100, seed), 0.001).unwrap();
-            assert!(is_connected(&g), "seed {seed} produced a disconnected graph");
+            assert!(
+                is_connected(&g),
+                "seed {seed} produced a disconnected graph"
+            );
             assert!(g.is_simple());
             assert!(g.edge_count() >= 99);
         }

@@ -94,7 +94,10 @@ mod tests {
         let degrees = g.degree_sequence();
         let max = degrees[0];
         let median = degrees[degrees.len() / 2];
-        assert!(max >= 4 * median, "expected a heavy tail, max={max} median={median}");
+        assert!(
+            max >= 4 * median,
+            "expected a heavy tail, max={max} median={median}"
+        );
     }
 
     #[test]

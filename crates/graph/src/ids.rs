@@ -24,7 +24,9 @@ use std::fmt;
 /// assert_eq!(v.index(), 3);
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -90,7 +92,9 @@ impl From<NodeId> for u32 {
 /// assert_eq!(e.raw(), 42);
 /// assert_eq!(format!("{e}"), "e42");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct EdgeId(u64);
 
 impl EdgeId {
@@ -135,7 +139,9 @@ impl From<EdgeId> for u64 {
 ///
 /// Clusters are indexed contiguously `0..l`; after contraction the cluster
 /// with `ClusterId(i)` becomes node `NodeId(i)` of the cluster graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ClusterId(u32);
 
 impl ClusterId {

@@ -177,7 +177,10 @@ impl MultiGraph {
         if node.index() < self.node_count {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node, node_count: self.node_count })
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.node_count,
+            })
         }
     }
 
@@ -215,8 +218,14 @@ impl MultiGraph {
         let idx = self.edges.len();
         self.edges.push(Edge { id, u, v });
         self.edge_index.insert(id, idx);
-        self.adjacency[u.index()].push(IncidentEdge { edge: id, neighbor: v });
-        self.adjacency[v.index()].push(IncidentEdge { edge: id, neighbor: u });
+        self.adjacency[u.index()].push(IncidentEdge {
+            edge: id,
+            neighbor: v,
+        });
+        self.adjacency[v.index()].push(IncidentEdge {
+            edge: id,
+            neighbor: u,
+        });
         self.next_edge_id = self.next_edge_id.max(id.raw() + 1);
         Ok(())
     }
@@ -260,7 +269,10 @@ impl MultiGraph {
         } else if edge.v == node {
             Ok(edge.u)
         } else {
-            Err(GraphError::NodeOutOfRange { node, node_count: self.node_count })
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.node_count,
+            })
         }
     }
 
@@ -289,8 +301,10 @@ impl MultiGraph {
     ///
     /// Panics if `node` is out of range.
     pub fn distinct_neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        let mut neighbors: Vec<NodeId> =
-            self.adjacency[node.index()].iter().map(|ie| ie.neighbor).collect();
+        let mut neighbors: Vec<NodeId> = self.adjacency[node.index()]
+            .iter()
+            .map(|ie| ie.neighbor)
+            .collect();
         neighbors.sort_unstable();
         neighbors.dedup();
         neighbors
@@ -324,8 +338,10 @@ impl MultiGraph {
     /// construction) self-loops.
     pub fn is_simple(&self) -> bool {
         for node in self.nodes() {
-            let mut neighbors: Vec<NodeId> =
-                self.adjacency[node.index()].iter().map(|ie| ie.neighbor).collect();
+            let mut neighbors: Vec<NodeId> = self.adjacency[node.index()]
+                .iter()
+                .map(|ie| ie.neighbor)
+                .collect();
             neighbors.sort_unstable();
             let before = neighbors.len();
             neighbors.dedup();
@@ -363,8 +379,14 @@ impl MultiGraph {
     pub fn to_simple(&self) -> MultiGraph {
         let mut keep: HashMap<(NodeId, NodeId), EdgeId> = HashMap::new();
         for edge in &self.edges {
-            let key = if edge.u <= edge.v { (edge.u, edge.v) } else { (edge.v, edge.u) };
-            keep.entry(key).and_modify(|best| *best = (*best).min(edge.id)).or_insert(edge.id);
+            let key = if edge.u <= edge.v {
+                (edge.u, edge.v)
+            } else {
+                (edge.v, edge.u)
+            };
+            keep.entry(key)
+                .and_modify(|best| *best = (*best).min(edge.id))
+                .or_insert(edge.id);
         }
         let mut kept: Vec<(EdgeId, NodeId, NodeId)> =
             keep.into_iter().map(|((u, v), id)| (id, u, v)).collect();
@@ -384,7 +406,10 @@ impl MultiGraph {
     /// # Errors
     ///
     /// Returns [`GraphError::UnknownEdge`] if any requested edge is absent.
-    pub fn edge_subgraph(&self, edge_ids: impl IntoIterator<Item = EdgeId>) -> GraphResult<MultiGraph> {
+    pub fn edge_subgraph(
+        &self,
+        edge_ids: impl IntoIterator<Item = EdgeId>,
+    ) -> GraphResult<MultiGraph> {
         let mut sub = MultiGraph::new(self.node_count);
         let mut ids: Vec<EdgeId> = edge_ids.into_iter().collect();
         ids.sort_unstable();
@@ -471,14 +496,23 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut g = MultiGraph::new(2);
-        assert_eq!(g.add_edge(n(0), n(0)), Err(GraphError::SelfLoop { node: n(0) }));
+        assert_eq!(
+            g.add_edge(n(0), n(0)),
+            Err(GraphError::SelfLoop { node: n(0) })
+        );
     }
 
     #[test]
     fn out_of_range_endpoint_rejected() {
         let mut g = MultiGraph::new(2);
         let err = g.add_edge(n(0), n(5)).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: n(5), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: n(5),
+                node_count: 2
+            }
+        );
     }
 
     #[test]
@@ -486,7 +520,12 @@ mod tests {
         let mut g = MultiGraph::new(3);
         g.add_edge_with_id(EdgeId::new(7), n(0), n(1)).unwrap();
         let err = g.add_edge_with_id(EdgeId::new(7), n(1), n(2)).unwrap_err();
-        assert_eq!(err, GraphError::DuplicateEdgeId { edge: EdgeId::new(7) });
+        assert_eq!(
+            err,
+            GraphError::DuplicateEdgeId {
+                edge: EdgeId::new(7)
+            }
+        );
     }
 
     #[test]
@@ -544,7 +583,9 @@ mod tests {
     #[test]
     fn edge_subgraph_selects_edges() {
         let g = triangle();
-        let sub = g.edge_subgraph([EdgeId::new(0), EdgeId::new(2), EdgeId::new(0)]).unwrap();
+        let sub = g
+            .edge_subgraph([EdgeId::new(0), EdgeId::new(2), EdgeId::new(0)])
+            .unwrap();
         assert_eq!(sub.edge_count(), 2);
         assert_eq!(sub.node_count(), 3);
         assert!(sub.has_edge_between(n(0), n(1)));

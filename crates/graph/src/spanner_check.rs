@@ -113,8 +113,11 @@ pub fn verify_edge_stretch_subgraph(
         }
     }
 
-    let mean_stretch =
-        if checked > disconnected { total_stretch / (checked - disconnected) as f64 } else { 0.0 };
+    let mean_stretch = if checked > disconnected {
+        total_stretch / (checked - disconnected) as f64
+    } else {
+        0.0
+    };
 
     Ok(StretchReport {
         max_stretch,
@@ -155,10 +158,14 @@ pub fn sampled_pair_stretch<R: Rng + ?Sized>(
         return Err(GraphError::invalid_parameter("samples must be positive"));
     }
     if graph.node_count() != spanner.node_count() {
-        return Err(GraphError::invalid_parameter("graph and spanner must share the node set"));
+        return Err(GraphError::invalid_parameter(
+            "graph and spanner must share the node set",
+        ));
     }
     if graph.node_count() < 2 {
-        return Err(GraphError::invalid_parameter("need at least two nodes to sample pairs"));
+        return Err(GraphError::invalid_parameter(
+            "need at least two nodes to sample pairs",
+        ));
     }
 
     let nodes: Vec<NodeId> = graph.nodes().collect();
@@ -170,7 +177,9 @@ pub fn sampled_pair_stretch<R: Rng + ?Sized>(
     for _ in 0..samples {
         let pair: Vec<&NodeId> = nodes.choose_multiple(rng, 2).collect();
         let (u, v) = (*pair[0], *pair[1]);
-        let Some(dg) = shortest_path_len(graph, u, v, None)? else { continue };
+        let Some(dg) = shortest_path_len(graph, u, v, None)? else {
+            continue;
+        };
         if dg == 0 {
             continue;
         }
@@ -185,9 +194,17 @@ pub fn sampled_pair_stretch<R: Rng + ?Sized>(
         }
     }
 
-    let mean_ratio =
-        if checked > disconnected { total_ratio / (checked - disconnected) as f64 } else { 0.0 };
-    Ok(PairStretchReport { max_ratio, mean_ratio, pairs_checked: checked, disconnected_pairs: disconnected })
+    let mean_ratio = if checked > disconnected {
+        total_ratio / (checked - disconnected) as f64
+    } else {
+        0.0
+    };
+    Ok(PairStretchReport {
+        max_ratio,
+        mean_ratio,
+        pairs_checked: checked,
+        disconnected_pairs: disconnected,
+    })
 }
 
 #[cfg(test)]
@@ -204,7 +221,14 @@ mod tests {
     fn cycle6() -> MultiGraph {
         MultiGraph::from_edges(
             6,
-            [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4)), (n(4), n(5)), (n(5), n(0))],
+            [
+                (n(0), n(1)),
+                (n(1), n(2)),
+                (n(2), n(3)),
+                (n(3), n(4)),
+                (n(4), n(5)),
+                (n(5), n(0)),
+            ],
         )
         .unwrap()
     }

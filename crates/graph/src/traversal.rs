@@ -44,7 +44,8 @@ impl BfsResult {
         let mut current = node;
         while let Some(edge) = self.parent_edge[current.index()] {
             path.push(edge);
-            current = self.parent[current.index()].expect("parent exists whenever parent_edge does");
+            current =
+                self.parent[current.index()].expect("parent exists whenever parent_edge does");
         }
         path.reverse();
         Some(path)
@@ -89,7 +90,12 @@ pub fn bfs(graph: &MultiGraph, source: NodeId, max_depth: Option<u32>) -> GraphR
         }
     }
 
-    Ok(BfsResult { dist, parent_edge, parent, order })
+    Ok(BfsResult {
+        dist,
+        parent_edge,
+        parent,
+        order,
+    })
 }
 
 /// Hop distances from `source` to every node (`None` if unreachable).
@@ -231,7 +237,9 @@ pub fn require_connected(graph: &MultiGraph) -> GraphResult<()> {
     if graph.node_count() <= 1 || components.count == 1 {
         Ok(())
     } else {
-        Err(GraphError::Disconnected { components: components.count })
+        Err(GraphError::Disconnected {
+            components: components.count,
+        })
     }
 }
 
@@ -362,7 +370,10 @@ mod tests {
         assert_ne!(comps.component[0], comps.component[4]);
         assert_eq!(comps.sizes(), vec![4, 1]);
         assert!(!is_connected(&g));
-        assert_eq!(require_connected(&g), Err(GraphError::Disconnected { components: 2 }));
+        assert_eq!(
+            require_connected(&g),
+            Err(GraphError::Disconnected { components: 2 })
+        );
     }
 
     #[test]
@@ -382,7 +393,7 @@ mod tests {
         assert_eq!(eccentricity(&g, n(1)).unwrap(), 2);
         assert_eq!(diameter_exact(&g).unwrap(), 3);
         let lb = diameter_lower_bound(&g, 2).unwrap();
-        assert!(lb <= 3 && lb >= 2);
+        assert!((2..=3).contains(&lb));
     }
 
     #[test]
@@ -399,7 +410,10 @@ mod tests {
         g.add_edge(n(0), n(1)).unwrap();
         g.add_edge(n(0), n(1)).unwrap();
         g.add_edge(n(1), n(2)).unwrap();
-        assert_eq!(bfs_distances(&g, n(0)).unwrap(), vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(
+            bfs_distances(&g, n(0)).unwrap(),
+            vec![Some(0), Some(1), Some(2)]
+        );
         assert_eq!(diameter_exact(&g).unwrap(), 2);
     }
 }

@@ -1,120 +1,201 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate.
+//!
+//! Originally written with `proptest`; the offline build environment cannot
+//! fetch it, so each property is exercised over a deterministic sweep of
+//! `(n, seed, p)` combinations instead. The sweeps cover the same input
+//! space (small-to-medium sizes, many seeds, the full probability range)
+//! and keep the failure messages explicit about the offending combination.
 
 use freelunch_graph::cluster::{contract, ClusterAssignment};
 use freelunch_graph::generators::{
     connected_erdos_renyi, cycle_graph, erdos_renyi, gnm_random, GeneratorConfig,
 };
 use freelunch_graph::spanner_check::verify_edge_stretch;
-use freelunch_graph::traversal::{bfs_distances, connected_components, diameter_exact, is_connected};
+use freelunch_graph::traversal::{
+    bfs_distances, connected_components, diameter_exact, is_connected,
+};
 use freelunch_graph::{ClusterId, EdgeId, MultiGraph, NodeId};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic sweep of (n, seed, p) cases shared by the properties.
+fn sweep_cases() -> Vec<(usize, u64, f64)> {
+    let mut cases = Vec::new();
+    for (i, n) in [2usize, 3, 5, 8, 13, 21, 34, 55].into_iter().enumerate() {
+        for (j, p) in [0.0f64, 0.05, 0.15, 0.35, 0.65, 0.95]
+            .into_iter()
+            .enumerate()
+        {
+            cases.push((n, (i * 31 + j * 7) as u64, p));
+        }
+    }
+    cases
+}
 
-    /// Handshake lemma: the sum of degrees is twice the edge count, for any
-    /// random graph.
-    #[test]
-    fn handshake_lemma(n in 2usize..80, seed in 0u64..1000, p in 0.0f64..1.0) {
+/// Handshake lemma: the sum of degrees is twice the edge count, for any
+/// random graph.
+#[test]
+fn handshake_lemma() {
+    for (n, seed, p) in sweep_cases() {
         let g = erdos_renyi(&GeneratorConfig::new(n, seed), p).unwrap();
         let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
-        prop_assert_eq!(g.incidence_count(), 2 * g.edge_count());
+        assert_eq!(
+            degree_sum,
+            2 * g.edge_count(),
+            "case n={n} seed={seed} p={p}"
+        );
+        assert_eq!(
+            g.incidence_count(),
+            2 * g.edge_count(),
+            "case n={n} seed={seed} p={p}"
+        );
     }
+}
 
-    /// BFS distances satisfy the triangle inequality along edges:
-    /// |dist(u) - dist(v)| <= 1 for every edge (u, v).
-    #[test]
-    fn bfs_distance_lipschitz_along_edges(n in 2usize..60, seed in 0u64..1000) {
-        let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), 0.1).unwrap();
-        let dist = bfs_distances(&g, NodeId::new(0)).unwrap();
-        for edge in g.edges() {
-            let du = dist[edge.u.index()].unwrap();
-            let dv = dist[edge.v.index()].unwrap();
-            prop_assert!(du.abs_diff(dv) <= 1);
+/// BFS distances satisfy the triangle inequality along edges:
+/// |dist(u) - dist(v)| <= 1 for every edge (u, v).
+#[test]
+fn bfs_distance_lipschitz_along_edges() {
+    for n in [2usize, 4, 9, 17, 33, 57] {
+        for seed in [0u64, 17, 99, 512] {
+            let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), 0.1).unwrap();
+            let dist = bfs_distances(&g, NodeId::new(0)).unwrap();
+            for edge in g.edges() {
+                let du = dist[edge.u.index()].unwrap();
+                let dv = dist[edge.v.index()].unwrap();
+                assert!(du.abs_diff(dv) <= 1, "case n={n} seed={seed} edge={edge:?}");
+            }
         }
     }
+}
 
-    /// The connected Erdős–Rényi generator always produces a connected simple
-    /// graph, and its diameter is finite.
-    #[test]
-    fn connected_generator_invariants(n in 2usize..60, seed in 0u64..500, p in 0.0f64..0.3) {
+/// The connected Erdős–Rényi generator always produces a connected simple
+/// graph, and its diameter is finite.
+#[test]
+fn connected_generator_invariants() {
+    for (n, seed, p) in sweep_cases() {
+        let p = p * 0.3;
         let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), p).unwrap();
-        prop_assert!(is_connected(&g));
-        prop_assert!(g.is_simple());
-        prop_assert!(diameter_exact(&g).is_ok());
+        assert!(is_connected(&g), "case n={n} seed={seed} p={p}");
+        assert!(g.is_simple(), "case n={n} seed={seed} p={p}");
+        assert!(diameter_exact(&g).is_ok(), "case n={n} seed={seed} p={p}");
     }
+}
 
-    /// G(n, m) produces exactly m edges and no duplicates.
-    #[test]
-    fn gnm_exact_edges(n in 5usize..40, seed in 0u64..500) {
-        let max_edges = n * (n - 1) / 2;
-        let m = max_edges / 2;
-        let g = gnm_random(&GeneratorConfig::new(n, seed), m).unwrap();
-        prop_assert_eq!(g.edge_count(), m);
-        prop_assert!(g.is_simple());
+/// G(n, m) produces exactly m edges and no duplicates.
+#[test]
+fn gnm_exact_edges() {
+    for n in [5usize, 8, 13, 21, 34] {
+        for seed in [0u64, 3, 77, 256, 499] {
+            let max_edges = n * (n - 1) / 2;
+            let m = max_edges / 2;
+            let g = gnm_random(&GeneratorConfig::new(n, seed), m).unwrap();
+            assert_eq!(g.edge_count(), m, "case n={n} seed={seed}");
+            assert!(g.is_simple(), "case n={n} seed={seed}");
+        }
     }
+}
 
-    /// The number of components plus the number of edges of a forest-like
-    /// lower bound: components >= n - m for any graph.
-    #[test]
-    fn component_count_lower_bound(n in 1usize..60, seed in 0u64..500, p in 0.0f64..0.2) {
+/// Component count lower bound: components >= n - m for any graph.
+#[test]
+fn component_count_lower_bound() {
+    for (n, seed, p) in sweep_cases() {
+        let p = p * 0.2;
         let g = erdos_renyi(&GeneratorConfig::new(n, seed), p).unwrap();
         let comps = connected_components(&g);
-        prop_assert!(comps.count >= n.saturating_sub(g.edge_count()));
-        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), n);
+        assert!(
+            comps.count >= n.saturating_sub(g.edge_count()),
+            "case n={n} seed={seed} p={p}"
+        );
+        assert_eq!(
+            comps.sizes().iter().sum::<usize>(),
+            n,
+            "case n={n} seed={seed} p={p}"
+        );
     }
+}
 
-    /// The whole edge set is always a 1-spanner of itself.
-    #[test]
-    fn full_edge_set_is_one_spanner(n in 2usize..50, seed in 0u64..500, p in 0.05f64..0.5) {
+/// The whole edge set is always a 1-spanner of itself.
+#[test]
+fn full_edge_set_is_one_spanner() {
+    for (n, seed, p) in sweep_cases() {
+        let p = 0.05 + p * 0.45;
         let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), p).unwrap();
         let report = verify_edge_stretch(&g, g.edge_ids()).unwrap();
-        prop_assert!(report.satisfies(1));
-        prop_assert_eq!(report.disconnected_pairs, 0);
+        assert!(report.satisfies(1), "case n={n} seed={seed} p={p}");
+        assert_eq!(report.disconnected_pairs, 0, "case n={n} seed={seed} p={p}");
     }
+}
 
-    /// Contraction never increases the number of edges, preserves edge-ID
-    /// uniqueness, and its node count equals the number of clusters.
-    #[test]
-    fn contraction_invariants(n in 4usize..60, seed in 0u64..500, clusters in 1usize..6) {
-        let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), 0.2).unwrap();
-        let mut assignment = ClusterAssignment::unclustered(n);
-        // Assign nodes round-robin to `clusters` clusters, leaving every 7th
-        // node unclustered.
-        for v in 0..n {
-            if v % 7 == 3 && n > clusters + 1 {
-                continue;
+/// Contraction never increases the number of edges, preserves edge-ID
+/// uniqueness, and its node count equals the number of clusters.
+#[test]
+fn contraction_invariants() {
+    for n in [4usize, 7, 12, 23, 41, 58] {
+        for seed in [1u64, 42, 311] {
+            let g = connected_erdos_renyi(&GeneratorConfig::new(n, seed), 0.2).unwrap();
+            for clusters in 1usize..6 {
+                let mut assignment = ClusterAssignment::unclustered(n);
+                // Assign nodes round-robin to `clusters` clusters, leaving
+                // every 7th node unclustered.
+                for v in 0..n {
+                    if v % 7 == 3 && n > clusters + 1 {
+                        continue;
+                    }
+                    assignment
+                        .assign(NodeId::from_usize(v), ClusterId::from_usize(v % clusters))
+                        .unwrap();
+                }
+                // Guarantee no empty cluster: explicitly cover each cluster id.
+                for c in 0..clusters.min(n) {
+                    assignment
+                        .assign(NodeId::from_usize(c), ClusterId::from_usize(c))
+                        .unwrap();
+                }
+                let contraction = contract(&g, &assignment).unwrap();
+                let case = format!("case n={n} seed={seed} clusters={clusters}");
+                assert_eq!(
+                    contraction.graph.node_count(),
+                    assignment.cluster_count(),
+                    "{case}"
+                );
+                assert!(contraction.graph.edge_count() <= g.edge_count(), "{case}");
+                assert_eq!(
+                    contraction.graph.edge_count() + contraction.dropped_edges,
+                    g.edge_count(),
+                    "{case}"
+                );
+                // Edge IDs in the contraction are a subset of the original IDs.
+                for id in contraction.graph.edge_ids() {
+                    assert!(g.contains_edge(id), "{case} id={id:?}");
+                }
             }
-            assignment.assign(NodeId::from_usize(v), ClusterId::from_usize(v % clusters)).unwrap();
-        }
-        // Guarantee no empty cluster: explicitly cover each cluster id.
-        for c in 0..clusters.min(n) {
-            assignment.assign(NodeId::from_usize(c), ClusterId::from_usize(c)).unwrap();
-        }
-        let contraction = contract(&g, &assignment).unwrap();
-        prop_assert_eq!(contraction.graph.node_count(), assignment.cluster_count());
-        prop_assert!(contraction.graph.edge_count() <= g.edge_count());
-        prop_assert_eq!(
-            contraction.graph.edge_count() + contraction.dropped_edges,
-            g.edge_count()
-        );
-        // Edge IDs in the contraction are a subset of the original IDs.
-        for id in contraction.graph.edge_ids() {
-            prop_assert!(g.contains_edge(id));
         }
     }
+}
 
-    /// Round-tripping through `edge_subgraph` with all edges reproduces the
-    /// same adjacency structure.
-    #[test]
-    fn edge_subgraph_identity(n in 2usize..40, seed in 0u64..300, p in 0.0f64..0.6) {
+/// Round-tripping through `edge_subgraph` with all edges reproduces the
+/// same adjacency structure.
+#[test]
+fn edge_subgraph_identity() {
+    for (n, seed, p) in sweep_cases() {
+        let p = p * 0.6;
         let g = erdos_renyi(&GeneratorConfig::new(n, seed), p).unwrap();
         let copy = g.edge_subgraph(g.edge_ids()).unwrap();
-        prop_assert_eq!(copy.edge_count(), g.edge_count());
+        assert_eq!(
+            copy.edge_count(),
+            g.edge_count(),
+            "case n={n} seed={seed} p={p}"
+        );
         for v in g.nodes() {
-            prop_assert_eq!(copy.degree(v), g.degree(v));
-            prop_assert_eq!(copy.distinct_neighbors(v), g.distinct_neighbors(v));
+            assert_eq!(
+                copy.degree(v),
+                g.degree(v),
+                "case n={n} seed={seed} p={p} v={v:?}"
+            );
+            assert_eq!(
+                copy.distinct_neighbors(v),
+                g.distinct_neighbors(v),
+                "case n={n} seed={seed} p={p} v={v:?}"
+            );
         }
     }
 }

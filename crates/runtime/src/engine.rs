@@ -45,7 +45,10 @@ impl Default for NetworkConfig {
 impl NetworkConfig {
     /// Configuration with the paper's knowledge model and the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        NetworkConfig { seed, ..NetworkConfig::default() }
+        NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        }
     }
 
     /// Returns a copy using the given knowledge model.
@@ -136,17 +139,16 @@ impl<P: NodeProgram> Network<P> {
         mut factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
     ) -> RuntimeResult<Self> {
         if graph.node_count() == 0 {
-            return Err(RuntimeError::invalid_config("the communication graph has no nodes"));
+            return Err(RuntimeError::invalid_config(
+                "the communication graph has no nodes",
+            ));
         }
         let knowledge = initial_knowledge(graph, config.knowledge, config.log_n_slack);
         let port_edges: Vec<Vec<EdgeId>> = graph
             .nodes()
             .map(|v| graph.incident_edges(v).iter().map(|ie| ie.edge).collect())
             .collect();
-        let programs: Vec<P> = knowledge
-            .iter()
-            .map(|k| factory(k.node, k))
-            .collect();
+        let programs: Vec<P> = knowledge.iter().map(|k| factory(k.node, k)).collect();
         let rngs = (0..graph.node_count())
             .map(|v| ChaCha8Rng::seed_from_u64(node_seed(config.seed, v)))
             .collect();
@@ -238,15 +240,28 @@ impl<P: NodeProgram> Network<P> {
             let edge = self
                 .graph
                 .edge(outgoing.edge)
-                .map_err(|_| RuntimeError::UnknownEdge { edge: outgoing.edge })?;
+                .map_err(|_| RuntimeError::UnknownEdge {
+                    edge: outgoing.edge,
+                })?;
             if !edge.touches(sender) {
-                return Err(RuntimeError::NotIncident { node: sender, edge: outgoing.edge });
+                return Err(RuntimeError::NotIncident {
+                    node: sender,
+                    edge: outgoing.edge,
+                });
             }
             let receiver = edge.other(sender);
             self.metrics.record_send(sender.index());
-            self.trace.record(TraceEvent { round, from: sender, to: receiver, edge: edge.id });
-            self.pending[receiver.index()]
-                .push(Envelope { edge: edge.id, from: sender, payload: outgoing.payload });
+            self.trace.record(TraceEvent {
+                round,
+                from: sender,
+                to: receiver,
+                edge: edge.id,
+            });
+            self.pending[receiver.index()].push(Envelope {
+                edge: edge.id,
+                from: sender,
+                payload: outgoing.payload,
+            });
         }
         Ok(())
     }
@@ -384,7 +399,11 @@ mod tests {
 
     impl Flood {
         fn new(node: NodeId) -> Self {
-            Flood { has_token: node == NodeId::new(0), forwarded: false, heard_in_round: None }
+            Flood {
+                has_token: node == NodeId::new(0),
+                forwarded: false,
+                heard_in_round: None,
+            }
         }
     }
 
@@ -421,8 +440,10 @@ mod tests {
     #[test]
     fn flooding_reaches_every_node_in_diameter_rounds() {
         let graph = cycle(8);
-        let mut network =
-            Network::new(&graph, NetworkConfig::with_seed(1), |node, _| Flood::new(node)).unwrap();
+        let mut network = Network::new(&graph, NetworkConfig::with_seed(1), |node, _| {
+            Flood::new(node)
+        })
+        .unwrap();
         network.run_until_halt(20).unwrap();
         assert!(network.all_halted());
         // On a cycle of 8 the farthest node hears the token in round 4.
@@ -480,7 +501,13 @@ mod tests {
         let graph = cycle(4);
         let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| Rogue).unwrap();
         let err = network.run_round().unwrap_err();
-        assert_eq!(err, RuntimeError::NotIncident { node: NodeId::new(0), edge: EdgeId::new(1) });
+        assert_eq!(
+            err,
+            RuntimeError::NotIncident {
+                node: NodeId::new(0),
+                edge: EdgeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -495,7 +522,12 @@ mod tests {
         let graph = cycle(4);
         let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| Rogue).unwrap();
         let err = network.run_round().unwrap_err();
-        assert_eq!(err, RuntimeError::UnknownEdge { edge: EdgeId::new(999) });
+        assert_eq!(
+            err,
+            RuntimeError::UnknownEdge {
+                edge: EdgeId::new(999)
+            }
+        );
     }
 
     #[test]
@@ -543,14 +575,18 @@ mod tests {
 
         let graph = cycle(6);
         let run = |seed: u64| {
-            let mut network = Network::new(
-                &graph,
-                NetworkConfig::with_seed(seed),
-                |_, _| RandomOnce { drawn: None, received: Vec::new() },
-            )
-            .unwrap();
+            let mut network =
+                Network::new(&graph, NetworkConfig::with_seed(seed), |_, _| RandomOnce {
+                    drawn: None,
+                    received: Vec::new(),
+                })
+                .unwrap();
             network.run_until_halt(5).unwrap();
-            network.into_programs().into_iter().map(|p| (p.drawn, p.received)).collect::<Vec<_>>()
+            network
+                .into_programs()
+                .into_iter()
+                .map(|p| (p.drawn, p.received))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -586,8 +622,10 @@ mod tests {
             }
         }
         let graph = cycle(3);
-        let mut network =
-            Network::new(&graph, NetworkConfig::default(), |_, _| OneShot { sent: false }).unwrap();
+        let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| OneShot {
+            sent: false,
+        })
+        .unwrap();
         network.run_until_quiet(10).unwrap();
         assert!(network.all_halted());
         assert_eq!(network.pending_messages(), 0);

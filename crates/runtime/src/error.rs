@@ -40,7 +40,10 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::NotIncident { node, edge } => {
-                write!(f, "node {node} attempted to send over non-incident edge {edge}")
+                write!(
+                    f,
+                    "node {node} attempted to send over non-incident edge {edge}"
+                )
             }
             RuntimeError::UnknownEdge { edge } => write!(f, "edge {edge} does not exist"),
             RuntimeError::RoundBudgetExceeded { budget } => {
@@ -70,7 +73,9 @@ impl From<freelunch_graph::GraphError> for RuntimeError {
 impl RuntimeError {
     /// Convenience constructor for [`RuntimeError::InvalidConfig`].
     pub fn invalid_config(reason: impl Into<String>) -> Self {
-        RuntimeError::InvalidConfig { reason: reason.into() }
+        RuntimeError::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -83,15 +88,22 @@ mod tests {
 
     #[test]
     fn display_names_the_offenders() {
-        let err = RuntimeError::NotIncident { node: NodeId::new(3), edge: EdgeId::new(8) };
+        let err = RuntimeError::NotIncident {
+            node: NodeId::new(3),
+            edge: EdgeId::new(8),
+        };
         assert!(err.to_string().contains("v3"));
         assert!(err.to_string().contains("e8"));
-        assert!(RuntimeError::RoundBudgetExceeded { budget: 10 }.to_string().contains("10"));
+        assert!(RuntimeError::RoundBudgetExceeded { budget: 10 }
+            .to_string()
+            .contains("10"));
     }
 
     #[test]
     fn graph_errors_convert_and_chain() {
-        let graph_err = freelunch_graph::GraphError::UnknownEdge { edge: EdgeId::new(1) };
+        let graph_err = freelunch_graph::GraphError::UnknownEdge {
+            edge: EdgeId::new(1),
+        };
         let err: RuntimeError = graph_err.clone().into();
         assert_eq!(err, RuntimeError::Graph(graph_err));
         assert!(err.source().is_some());

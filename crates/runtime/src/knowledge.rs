@@ -108,7 +108,12 @@ pub fn initial_knowledge(
                     neighbor: model.exposes_neighbor_ids().then_some(incident.neighbor),
                 })
                 .collect();
-            InitialKnowledge { node, model, ports, log_n_upper_bound }
+            InitialKnowledge {
+                node,
+                model,
+                ports,
+                log_n_upper_bound,
+            }
         })
         .collect()
 }

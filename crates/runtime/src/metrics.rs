@@ -22,7 +22,10 @@ pub struct CostReport {
 impl CostReport {
     /// A zero-cost report.
     pub const fn zero() -> Self {
-        CostReport { rounds: 0, messages: 0 }
+        CostReport {
+            rounds: 0,
+            messages: 0,
+        }
     }
 
     /// Creates a report from explicit counts.
@@ -32,7 +35,10 @@ impl CostReport {
 
     /// Sequential composition: rounds add, messages add.
     pub fn then(self, later: CostReport) -> CostReport {
-        CostReport { rounds: self.rounds + later.rounds, messages: self.messages + later.messages }
+        CostReport {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+        }
     }
 
     /// Parallel composition: rounds take the maximum, messages add.
@@ -89,7 +95,10 @@ impl ExecutionMetrics {
 
     /// Records that `node` sent one message during the current round slot.
     pub fn record_send(&mut self, node_index: usize) {
-        *self.messages_per_round.last_mut().expect("at least one round slot exists") += 1;
+        *self
+            .messages_per_round
+            .last_mut()
+            .expect("at least one round slot exists") += 1;
         self.messages_per_node[node_index] += 1;
     }
 
@@ -116,7 +125,10 @@ impl ExecutionMetrics {
 
     /// Collapses the detailed metrics into a [`CostReport`].
     pub fn summary(&self) -> CostReport {
-        CostReport { rounds: self.rounds(), messages: self.total_messages() }
+        CostReport {
+            rounds: self.rounds(),
+            messages: self.total_messages(),
+        }
     }
 }
 

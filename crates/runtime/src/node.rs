@@ -57,7 +57,14 @@ impl<'a, M> Context<'a, M> {
         round: u32,
         rng: &'a mut ChaCha8Rng,
     ) -> Self {
-        Context { knowledge, port_edges, round, rng, outbox: Vec::new(), halted: false }
+        Context {
+            knowledge,
+            port_edges,
+            round,
+            rng,
+            outbox: Vec::new(),
+            halted: false,
+        }
     }
 
     /// The executing node's own ID.
@@ -221,7 +228,11 @@ mod tests {
 
     #[test]
     fn send_port_works_under_every_model() {
-        for model in [KnowledgeModel::Kt0, KnowledgeModel::UniqueEdgeIds, KnowledgeModel::Kt1] {
+        for model in [
+            KnowledgeModel::Kt0,
+            KnowledgeModel::UniqueEdgeIds,
+            KnowledgeModel::Kt1,
+        ] {
             let knowledge = sample_knowledge(model);
             let ports = port_edges_of(0);
             let mut rng = ChaCha8Rng::seed_from_u64(1);

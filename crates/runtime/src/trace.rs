@@ -32,7 +32,11 @@ impl Trace {
     /// Creates a trace that stores at most `capacity` events (0 disables
     /// storage entirely while still counting).
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0 }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event, storing it if capacity allows.

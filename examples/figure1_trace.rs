@@ -11,30 +11,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small community graph keeps the trace readable.
     let params = PlantedPartitionParams::new(4, 0.5, 0.05)?;
     let graph = planted_partition(&GeneratorConfig::new(48, 9), &params)?;
-    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     let sampler_params = SamplerParams::with_constants(
         2,
         3,
-        ConstantPolicy::Practical { target_factor: 3.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 3.0,
+            query_factor: 4.0,
+        },
     )?;
     let (outcome, trace) = Sampler::new(sampler_params).run_with_trace(&graph, 4)?;
 
     for level in &trace.levels {
-        println!("\n================ level {} (G_{}) ================", level.level, level.level);
-        println!("(a) level graph: {} nodes, {} edges", level.nodes, level.edges);
-        println!("(b) query edges: {} distinct edges probed", level.query_edges.len());
+        println!(
+            "\n================ level {} (G_{}) ================",
+            level.level, level.level
+        );
+        println!(
+            "(a) level graph: {} nodes, {} edges",
+            level.nodes, level.edges
+        );
+        println!(
+            "(b) query edges: {} distinct edges probed",
+            level.query_edges.len()
+        );
         println!("(c) F edges added: {}", level.f_edges.len());
         println!(
             "(d) centers ({}): {}",
             level.centers.len(),
-            level.centers.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            level
+                .centers
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         println!("(e) clusters formed: {}", level.clusters.len());
         for (i, cluster) in level.clusters.iter().enumerate().take(6) {
             println!(
                 "      C{i}: {{{}}}",
-                cluster.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                cluster
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
         if level.clusters.len() > 6 {

@@ -13,7 +13,11 @@ use freelunch::runtime::{Network, NetworkConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = connected_erdos_renyi(&GeneratorConfig::new(300, 11), 0.25)?;
-    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // 1. Direct execution of Luby's MIS: measure its round count t and cost.
     let mut network = Network::new(&graph, NetworkConfig::with_seed(3), |_, knowledge| {
@@ -22,12 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     network.run_until_halt(200)?;
     let direct_cost = network.cost();
     let states: Vec<_> = network.programs().iter().map(LubyMis::state).collect();
-    assert!(is_maximal_independent_set(&graph, &states), "direct run must produce a valid MIS");
+    assert!(
+        is_maximal_independent_set(&graph, &states),
+        "direct run must produce a valid MIS"
+    );
     let t = u32::try_from(direct_cost.rounds)?;
     println!(
         "direct Luby MIS: t = {t} rounds, {} messages, MIS size {}",
         direct_cost.messages,
-        states.iter().filter(|s| matches!(s, freelunch::algorithms::MisState::InSet)).count()
+        states
+            .iter()
+            .filter(|s| matches!(s, freelunch::algorithms::MisState::InSet))
+            .count()
     );
 
     // 2. Message-reduced execution: Sampler spanner + t-local broadcast of the
@@ -36,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SamplerParams::with_constants(
         2,
         7,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )?;
     let spanner = Sampler::new(params).run(&graph, 17)?;
     let broadcast = t_local_broadcast(

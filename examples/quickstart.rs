@@ -11,14 +11,21 @@ use freelunch::graph::spanner_check::verify_edge_stretch;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A dense communication graph: n = 400 nodes, ~16k edges.
     let graph = connected_erdos_renyi(&GeneratorConfig::new(400, 42), 0.2)?;
-    println!("graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // Sampler with k = 2 levels (stretch bound 2·3² − 1 = 17) and h = 7
     // trials-per-level budget; practical constants (see DESIGN.md).
     let params = SamplerParams::with_constants(
         2,
         7,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )?;
     let sampler = Sampler::new(params);
     let outcome = sampler.run(&graph, 7)?;
@@ -44,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.mean_stretch,
         params.stretch_bound()
     );
-    assert!(report.satisfies(params.stretch_bound()), "the spanner must respect the bound");
+    assert!(
+        report.satisfies(params.stretch_bound()),
+        "the spanner must respect the bound"
+    );
 
     // Per-level breakdown.
     for level in &outcome.levels {

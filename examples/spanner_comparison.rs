@@ -12,7 +12,10 @@ use freelunch::graph::generators::{connected_erdos_renyi, GeneratorConfig};
 use freelunch::graph::spanner_check::verify_edge_stretch;
 use freelunch::graph::MultiGraph;
 
-fn report(graph: &MultiGraph, algorithm: &dyn SpannerAlgorithm) -> Result<(), Box<dyn std::error::Error>> {
+fn report(
+    graph: &MultiGraph,
+    algorithm: &dyn SpannerAlgorithm,
+) -> Result<(), Box<dyn std::error::Error>> {
     let result = algorithm.construct(graph, 13)?;
     let stretch = verify_edge_stretch(graph, result.edges.iter().copied())?;
     println!(
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sampler = Sampler::new(SamplerParams::with_constants(
         2,
         7,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )?);
     report(&graph, &sampler)?;
     report(&graph, &BaswanaSen::new(2)?)?;

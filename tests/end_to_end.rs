@@ -19,7 +19,10 @@ fn practical_params(k: u32) -> SamplerParams {
     SamplerParams::with_constants(
         k,
         7,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )
     .expect("valid parameters")
 }
@@ -54,7 +57,10 @@ fn scheme_beats_flooding_on_dense_graphs_and_gossip_on_rounds() {
     let t = 2;
     let scheme = SamplerScheme::with_constants(
         2,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )
     .unwrap();
     let report = scheme.run(&graph, t, 7).unwrap();
@@ -91,7 +97,11 @@ fn luby_mis_and_coloring_run_on_the_runtime_and_validate() {
     })
     .unwrap();
     coloring.run_until_halt(400).unwrap();
-    let colors: Vec<_> = coloring.programs().iter().map(RandomizedColoring::color).collect();
+    let colors: Vec<_> = coloring
+        .programs()
+        .iter()
+        .map(RandomizedColoring::color)
+        .collect();
     assert!(is_proper_coloring(&graph, &colors));
 }
 
@@ -115,7 +125,11 @@ fn free_lunch_simulation_preserves_outputs_and_saves_messages() {
     )
     .unwrap();
 
-    assert!(report.outputs_match(), "{} ball-local mismatches", report.mismatches);
+    assert!(
+        report.outputs_match(),
+        "{} ball-local mismatches",
+        report.mismatches
+    );
     assert!(
         report.simulated_cost.messages < report.direct_cost.messages,
         "simulated {} vs direct {}",
@@ -137,7 +151,11 @@ fn sampler_and_baswana_sen_expose_the_message_gap() {
 
     for result in [&sampler_result, &baswana] {
         let report = verify_edge_stretch(&graph, result.edges.iter().copied()).unwrap();
-        assert!(report.satisfies(result.multiplicative_stretch), "{}", result.algorithm);
+        assert!(
+            report.satisfies(result.multiplicative_stretch),
+            "{}",
+            result.algorithm
+        );
     }
     assert!(baswana.cost.messages >= m);
     assert!(
@@ -153,7 +171,10 @@ fn deterministic_end_to_end_replay() {
     let graph = connected_erdos_renyi(&GeneratorConfig::new(100, 2), 0.2).unwrap();
     let scheme = SamplerScheme::with_constants(
         1,
-        ConstantPolicy::Practical { target_factor: 4.0, query_factor: 4.0 },
+        ConstantPolicy::Practical {
+            target_factor: 4.0,
+            query_factor: 4.0,
+        },
     )
     .unwrap();
     let a = scheme.run(&graph, 2, 77).unwrap();

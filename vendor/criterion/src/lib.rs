@@ -1,0 +1,197 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Exposes the macro and type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, `Bencher::iter`, [`black_box`]) and really
+//! measures: each benchmark is warmed up, then timed for `sample_size`
+//! samples, and min/mean/max per-iteration times are printed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimiser from deleting benchmark
+/// bodies. (A `read_volatile`-free best-effort version: the value is routed
+/// through `std::hint::black_box`.)
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark inside a group, e.g. `k2/256`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an ID from a function name and a parameter display value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an ID from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warm-up, then `sample_size`
+    /// timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!("{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` with no external input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (printing-only in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(bencher.samples.len(), 5);
+        assert_eq!(count, 7); // 2 warm-up + 5 timed
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("k2", 256).to_string(), "k2/256");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the crates.io `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` widely so that result
+//! types stay export-ready, but the only code path that actually produces
+//! JSON builds a `serde_json::Value` by hand (`freelunch-bench`'s
+//! `ExperimentTable::to_json`). This stand-in therefore keeps derives
+//! compiling at zero cost: [`Serialize`] and [`Deserialize`] are marker
+//! traits blanket-implemented for every type, and the derive macros
+//! re-exported from `serde_derive` expand to nothing (while still
+//! accepting `#[serde(...)]` helper attributes).
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,313 @@
+//! Offline stand-in for the crates.io `serde_json` crate.
+//!
+//! Provides a fully working [`Value`]/[`Number`] tree, JSON escaping, and
+//! compact/pretty printers — everything `freelunch-bench` needs to emit
+//! real JSON result files. Generic serialisation of arbitrary types is out
+//! of scope (the `serde` stand-in's traits are markers); callers build a
+//! [`Value`] explicitly and print it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON number: one of `u64`, `i64` or finite `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Finite double.
+    F64(f64),
+}
+
+impl Number {
+    /// The numeric value as an `f64`, if it fits losslessly enough for
+    /// display purposes (always `Some` for this stand-in).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U64(v) => Some(v as f64),
+            Number::I64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// Whether the number was created from a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::F64(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) if !v.is_finite() => write!(f, "null"),
+            Number::F64(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::U64(v))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::U64(u64::from(v)))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::U64(v as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(Number::I64(v))
+    }
+}
+
+impl From<f64> for Value {
+    /// Non-finite values become `null`, mirroring crates.io `serde_json`
+    /// (whose `Number` cannot represent them); everything the writer emits
+    /// stays valid JSON.
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number::F64(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut buf = String::new();
+                escape_into(&mut buf, s);
+                write!(f, "{buf}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::new();
+                    escape_into(&mut buf, key);
+                    write!(f, "{buf}:{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Error type for serialisation; this stand-in never fails.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+///
+/// Unlike crates.io `serde_json`, this stand-in serialises `Value` trees
+/// only — callers construct the tree explicitly.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structure() {
+        let value = Value::Object(vec![
+            ("title".to_string(), Value::from("E1 \"size\"")),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::from(1u64), Value::from(2.5)]),
+            ),
+            ("empty".to_string(), Value::Array(Vec::new())),
+        ]);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\"title\": \"E1 \\\"size\\\"\""));
+        assert!(pretty.contains("\"empty\": []"));
+        assert!(pretty.lines().count() > 4);
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let value = Value::Array(vec![Value::Null, Value::Bool(true), Value::from(3u64)]);
+        assert_eq!(value.to_string(), "[null,true,3]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+        assert_eq!(Value::from(f64::INFINITY).to_string(), "null");
+        let doc = Value::Array(vec![Value::from(f64::NEG_INFINITY)]);
+        assert!(to_string_pretty(&doc).unwrap().contains("null"));
+    }
+
+    #[test]
+    fn float_numbers_keep_a_decimal_point() {
+        assert_eq!(Value::from(812.5).to_string(), "812.5");
+        assert_eq!(Value::from(812.0).to_string(), "812.0");
+        assert_eq!(Value::from(812u64).to_string(), "812");
+    }
+}
