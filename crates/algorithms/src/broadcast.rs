@@ -71,16 +71,21 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_gathering(graph: &MultiGraph, t: u32) -> Vec<Vec<u32>> {
-        let mut network = Network::new(graph, NetworkConfig::with_seed(0), |node, _| {
-            BallGathering::new(node, t)
-        })
-        .unwrap();
-        network.run_rounds(t).unwrap();
-        network
-            .programs()
-            .iter()
-            .map(BallGathering::known_ids)
-            .collect()
+        let run = |shards: usize| {
+            let config = NetworkConfig::with_seed(0).sharded(shards);
+            let mut network =
+                Network::new(graph, config, |node, _| BallGathering::new(node, t)).unwrap();
+            network.run_rounds(t).unwrap();
+            network
+                .programs()
+                .iter()
+                .map(BallGathering::known_ids)
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        // Every gathering test doubles as a sharded-engine equivalence check.
+        assert_eq!(sequential, run(2));
+        sequential
     }
 
     #[test]

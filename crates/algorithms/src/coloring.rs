@@ -131,19 +131,26 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_coloring(graph: &MultiGraph, seed: u64) -> (Vec<Option<u32>>, u64) {
-        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, knowledge| {
-            RandomizedColoring::new(knowledge.degree())
-        })
-        .unwrap();
-        network.run_until_halt(400).unwrap();
-        (
-            network
-                .programs()
-                .iter()
-                .map(RandomizedColoring::color)
-                .collect(),
-            network.cost().rounds,
-        )
+        let run = |shards: usize| {
+            let config = NetworkConfig::with_seed(seed).sharded(shards);
+            let mut network = Network::new(graph, config, |_, knowledge| {
+                RandomizedColoring::new(knowledge.degree())
+            })
+            .unwrap();
+            network.run_until_halt(400).unwrap();
+            (
+                network
+                    .programs()
+                    .iter()
+                    .map(RandomizedColoring::color)
+                    .collect::<Vec<_>>(),
+                network.cost().rounds,
+            )
+        };
+        let sequential = run(1);
+        // Every coloring test doubles as a sharded-engine equivalence check.
+        assert_eq!(sequential, run(2));
+        sequential
     }
 
     #[test]

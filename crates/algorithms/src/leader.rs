@@ -62,16 +62,21 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_election(graph: &MultiGraph, t: u32) -> Vec<u32> {
-        let mut network = Network::new(graph, NetworkConfig::with_seed(0), |node, _| {
-            LocalLeaderElection::new(node, t)
-        })
-        .unwrap();
-        network.run_rounds(t).unwrap();
-        network
-            .programs()
-            .iter()
-            .map(LocalLeaderElection::leader)
-            .collect()
+        let run = |shards: usize| {
+            let config = NetworkConfig::with_seed(0).sharded(shards);
+            let mut network =
+                Network::new(graph, config, |node, _| LocalLeaderElection::new(node, t)).unwrap();
+            network.run_rounds(t).unwrap();
+            network
+                .programs()
+                .iter()
+                .map(LocalLeaderElection::leader)
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        // Every election test doubles as a sharded-engine equivalence check.
+        assert_eq!(sequential, run(2));
+        sequential
     }
 
     #[test]

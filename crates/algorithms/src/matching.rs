@@ -175,16 +175,20 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_matching(graph: &MultiGraph, seed: u64) -> Vec<Option<EdgeId>> {
-        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, _| {
-            MaximalMatching::new()
-        })
-        .unwrap();
-        network.run_until_halt(500).unwrap();
-        network
-            .programs()
-            .iter()
-            .map(MaximalMatching::matched_over)
-            .collect()
+        let run = |shards: usize| {
+            let config = NetworkConfig::with_seed(seed).sharded(shards);
+            let mut network = Network::new(graph, config, |_, _| MaximalMatching::new()).unwrap();
+            network.run_until_halt(500).unwrap();
+            network
+                .programs()
+                .iter()
+                .map(MaximalMatching::matched_over)
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        // Every matching test doubles as a sharded-engine equivalence check.
+        assert_eq!(sequential, run(2));
+        sequential
     }
 
     #[test]

@@ -166,16 +166,27 @@ mod tests {
     use freelunch_runtime::{Network, NetworkConfig};
 
     fn run_mis(graph: &MultiGraph, seed: u64) -> (Vec<MisState>, u64) {
-        let mut network = Network::new(graph, NetworkConfig::with_seed(seed), |_, knowledge| {
-            LubyMis::new(knowledge.degree())
-        })
-        .unwrap();
-        network.run_until_halt(200).unwrap();
-        let rounds = network.cost().rounds;
-        (
-            network.programs().iter().map(LubyMis::state).collect(),
-            rounds,
-        )
+        let run = |shards: usize| {
+            let config = NetworkConfig::with_seed(seed).sharded(shards);
+            let mut network = Network::new(graph, config, |_, knowledge| {
+                LubyMis::new(knowledge.degree())
+            })
+            .unwrap();
+            network.run_until_halt(200).unwrap();
+            let rounds = network.cost().rounds;
+            (
+                network
+                    .programs()
+                    .iter()
+                    .map(LubyMis::state)
+                    .collect::<Vec<_>>(),
+                rounds,
+            )
+        };
+        let sequential = run(1);
+        // Every MIS test doubles as a sharded-engine equivalence check.
+        assert_eq!(sequential, run(2));
+        sequential
     }
 
     #[test]

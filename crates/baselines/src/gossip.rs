@@ -76,8 +76,10 @@ impl GossipBroadcast {
         let mut required = vec![0u64; n * words];
         let mut known = vec![0u64; n * words];
         let mut missing_total: u64 = 0;
+        // One frozen view serves all n single-source ball queries.
+        let frozen = graph.freeze();
         for source in graph.nodes() {
-            for holder in ball(graph, source, t)? {
+            for holder in ball(&frozen, source, t)? {
                 let idx = holder.index() * words + source.index() / 64;
                 let mask = 1u64 << (source.index() % 64);
                 if required[idx] & mask == 0 {

@@ -22,4 +22,4 @@ pub mod workloads;
 pub use table::{
     cell_f64, cell_str, cell_u64, fit_power_law_exponent, tables_to_json, ExperimentTable,
 };
-pub use workloads::{experiment_constants, experiment_params, Workload};
+pub use workloads::{experiment_constants, experiment_params, ScalingWorkload, Workload};

@@ -6,7 +6,8 @@
 use freelunch_core::params::ConstantPolicy;
 use freelunch_core::sampler::SamplerParams;
 use freelunch_graph::generators::{
-    complete_graph, connected_erdos_renyi, planted_partition, GeneratorConfig,
+    barabasi_albert, complete_graph, connected_erdos_renyi, planted_partition,
+    sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
     PlantedPartitionParams,
 };
 use freelunch_graph::{GraphResult, MultiGraph};
@@ -70,6 +71,60 @@ impl Workload {
     }
 }
 
+/// The large-scale workload families of the engine-scaling experiment.
+///
+/// Unlike [`Workload`], whose dense generators scan all `n²/2` node pairs,
+/// every family here is built by an `O(n + m)` sparse generator, so the
+/// sweep reaches the ≥10⁶-node sizes the paper's asymptotics are about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingWorkload {
+    /// Sparse connected Erdős–Rényi graph with expected average degree 8.
+    ErdosRenyi,
+    /// Barabási–Albert preferential attachment with 4 edges per node
+    /// (heavy-tailed degrees stress the shard load balance).
+    ScaleFree,
+    /// Sparse planted partition: blocks of ≈256 nodes, intra degree 12,
+    /// one cut edge per two nodes.
+    Community,
+}
+
+impl ScalingWorkload {
+    /// All scaling workloads, in presentation order.
+    pub fn all() -> [ScalingWorkload; 3] {
+        [
+            ScalingWorkload::ErdosRenyi,
+            ScalingWorkload::ScaleFree,
+            ScalingWorkload::Community,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingWorkload::ErdosRenyi => "erdos-renyi",
+            ScalingWorkload::ScaleFree => "scale-free",
+            ScalingWorkload::Community => "communities",
+        }
+    }
+
+    /// Builds the workload graph with `n` nodes in `O(n + m)` expected time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (e.g. `n` too small for the family).
+    pub fn build(self, n: usize, seed: u64) -> GraphResult<MultiGraph> {
+        let config = GeneratorConfig::new(n, seed);
+        match self {
+            ScalingWorkload::ErdosRenyi => sparse_connected_erdos_renyi(&config, 8.0),
+            ScalingWorkload::ScaleFree => barabasi_albert(&config, 4),
+            ScalingWorkload::Community => {
+                let communities = (n / 256).clamp(2, 8192);
+                sparse_planted_partition(&config, communities, 12.0, 1.0)
+            }
+        }
+    }
+}
+
 /// The `Sampler` constant policy used by the experiments.
 ///
 /// The paper-faithful `log³ n` budgets exceed every node degree at
@@ -100,6 +155,26 @@ pub fn experiment_params(k: u32) -> SamplerParams {
 mod tests {
     use super::*;
     use freelunch_graph::traversal::is_connected;
+
+    #[test]
+    fn all_scaling_workloads_build_connected_sparse_graphs() {
+        for workload in ScalingWorkload::all() {
+            let graph = workload.build(4096, 3).unwrap();
+            assert_eq!(graph.node_count(), 4096, "{}", workload.label());
+            assert!(
+                is_connected(&graph),
+                "{} should be connected",
+                workload.label()
+            );
+            // Sparse: m = O(n), far below the quadratic regime.
+            assert!(
+                graph.edge_count() < 16 * graph.node_count(),
+                "{} too dense: {} edges",
+                workload.label(),
+                graph.edge_count()
+            );
+        }
+    }
 
     #[test]
     fn all_workloads_build_connected_graphs() {

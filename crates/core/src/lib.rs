@@ -8,7 +8,7 @@
 //! * [`sampler`] — the hierarchical node-sampling spanner construction,
 //!   with faithful centralized execution, Section 5 distributed cost
 //!   accounting, a runtime-backed level-0 protocol and Figure-1 traces;
-//! * [`spanner_api`] — the [`SpannerAlgorithm`](spanner_api::SpannerAlgorithm)
+//! * [`spanner_api`] — the [`SpannerAlgorithm`]
 //!   trait shared with the baseline constructions;
 //! * [`reduction`] — `t`-local broadcast over a spanner, the single-stage
 //!   and two-stage message-reduction schemes, and the machinery for

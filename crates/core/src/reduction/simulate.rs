@@ -79,6 +79,13 @@ impl SimulationReport {
 /// `check_nodes` bounds how many nodes are verified by ball-local
 /// re-execution (the verification is `O(n + m)` per node); pass 0 to skip.
 ///
+/// `config` applies verbatim to the reference execution *and* to every
+/// ball-local re-execution — in particular, setting
+/// [`NetworkConfig::shards`] above 1 runs all of them on the sharded
+/// parallel engine. Since sharding is bit-identical to sequential
+/// execution, the whole [`SimulationReport`] is independent of the shard
+/// count.
+///
 /// # Errors
 ///
 /// Propagates runtime and graph errors.
@@ -116,9 +123,11 @@ where
     // caller asked for no verification samples.
     if let Some(step) = n.checked_div(to_check) {
         let step = step.max(1);
+        // One frozen view serves every per-node ball query below.
+        let frozen = graph.freeze();
         for index in (0..n).step_by(step).take(to_check) {
             let node = NodeId::from_usize(index);
-            let ball_nodes: HashSet<NodeId> = ball(graph, node, t)?.into_iter().collect();
+            let ball_nodes: HashSet<NodeId> = ball(&frozen, node, t)?.into_iter().collect();
             // Keep every edge incident to the ball: the ball nodes' behaviour
             // may depend on their full incident edge sets, but nodes outside
             // the ball cannot influence `node` within t rounds.

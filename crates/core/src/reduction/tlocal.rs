@@ -92,8 +92,10 @@ impl BroadcastOutcome {
     /// Propagates graph errors from the ball computations.
     pub fn coverage_violations(&self, graph: &MultiGraph, t: u32) -> CoreResult<usize> {
         let mut violations = 0;
+        // One frozen view serves all n single-source ball queries.
+        let frozen = graph.freeze();
         for source in graph.nodes() {
-            for holder in ball(graph, source, t)? {
+            for holder in ball(&frozen, source, t)? {
                 if !self.holds_token(holder, source) {
                     violations += 1;
                 }

@@ -42,7 +42,7 @@ pub enum NodeClass {
     Heavy,
     /// Neither light nor heavy after `2h` trials — the low-probability event
     /// Lemma 6 bounds. Depending on the
-    /// [`FallbackPolicy`](crate::params::FallbackPolicy), such nodes are
+    /// [`FallbackPolicy`], such nodes are
     /// either upgraded to light (by querying their remaining edges) or left
     /// as is.
     Ambiguous,

@@ -145,10 +145,188 @@ pub fn dumbbell(config: &GeneratorConfig, clique_size: usize) -> GraphResult<Mul
     Ok(graph)
 }
 
+/// Sparse planted-partition graph in `O(n + m)` expected time, parameterized
+/// by *expected degrees* instead of edge probabilities.
+///
+/// [`planted_partition`] scans all `n²/2` pairs and is unusable at the
+/// million-node scale of the engine-scaling experiments. This variant keeps
+/// the same shape — `communities` equal blocks, dense inside, sparse across
+/// — but samples directly:
+///
+/// * inside each block, pairs are drawn by geometric skip sampling with
+///   `p_in = intra_degree / (block − 1)`;
+/// * across blocks, `⌈n · inter_degree / 2⌉` distinct cut edges are drawn
+///   by rejection sampling;
+/// * a path inside each block plus one edge between consecutive blocks
+///   guarantees connectivity, as in the dense variant.
+///
+/// # Errors
+///
+/// Returns an error if the block size would be zero, a degree is negative
+/// or not finite, `intra_degree` is at least `block − 1`, or the rejection
+/// sampler cannot place the requested number of cut edges (only possible
+/// for extreme `inter_degree`).
+pub fn sparse_planted_partition(
+    config: &GeneratorConfig,
+    communities: usize,
+    intra_degree: f64,
+    inter_degree: f64,
+) -> GraphResult<MultiGraph> {
+    if communities == 0 {
+        return Err(GraphError::invalid_parameter("need at least one community"));
+    }
+    config.require_at_least(communities)?;
+    let n = config.nodes;
+    let kappa = communities;
+    let block = n / kappa;
+    if block == 0 {
+        return Err(GraphError::invalid_parameter(
+            "each community must contain at least one node",
+        ));
+    }
+    for (name, d) in [("intra", intra_degree), ("inter", inter_degree)] {
+        if !d.is_finite() || d < 0.0 {
+            return Err(GraphError::invalid_parameter(format!(
+                "{name} degree must be finite and non-negative, got {d}"
+            )));
+        }
+    }
+    if block > 1 && intra_degree >= (block - 1) as f64 {
+        return Err(GraphError::invalid_parameter(format!(
+            "intra degree {intra_degree} too close to the block size {block}; use planted_partition"
+        )));
+    }
+    let community_of = |v: usize| (v / block).min(kappa - 1);
+    // Block c covers [starts[c], starts[c + 1]); the last block absorbs the
+    // remainder.
+    let start_of = |c: usize| c * block;
+    let end_of = |c: usize| if c + 1 == kappa { n } else { (c + 1) * block };
+
+    let mut rng = config.rng();
+    let expected_edges = n + (n as f64 * (intra_degree + inter_degree) / 2.0).ceil() as usize;
+    let mut graph = MultiGraph::with_capacity(n, expected_edges);
+    let mut present: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::with_capacity(expected_edges);
+    let add = |graph: &mut MultiGraph,
+               present: &mut std::collections::HashSet<(usize, usize)>,
+               u: usize,
+               v: usize|
+     -> GraphResult<bool> {
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            graph.add_edge(NodeId::from_usize(key.0), NodeId::from_usize(key.1))?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    };
+
+    // Connectivity backbone: a path inside each block, one edge between the
+    // first nodes of consecutive blocks.
+    for c in 0..kappa {
+        for v in start_of(c) + 1..end_of(c) {
+            add(&mut graph, &mut present, v - 1, v)?;
+        }
+        if c + 1 < kappa {
+            add(&mut graph, &mut present, start_of(c), start_of(c + 1))?;
+        }
+    }
+
+    // Intra-community edges by geometric skip sampling, block by block.
+    if block > 1 && intra_degree > 0.0 {
+        let p = intra_degree / (block - 1) as f64;
+        let log_q = (1.0 - p).ln();
+        for c in 0..kappa {
+            let base = start_of(c);
+            let size = end_of(c) - base;
+            let mut v: usize = 1;
+            let mut w: i64 = -1;
+            while v < size {
+                let r: f64 = rng.gen();
+                let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                w = w.saturating_add(1).saturating_add(skip.max(0));
+                while v < size && w >= v as i64 {
+                    w -= v as i64;
+                    v += 1;
+                }
+                if v < size {
+                    add(&mut graph, &mut present, base + w as usize, base + v)?;
+                }
+            }
+        }
+    }
+
+    // Inter-community cut edges by rejection sampling.
+    if kappa > 1 && inter_degree > 0.0 {
+        let target = (n as f64 * inter_degree / 2.0).ceil() as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        let budget = 100 * target + 1000;
+        while placed < target {
+            attempts += 1;
+            if attempts > budget {
+                return Err(GraphError::invalid_parameter(format!(
+                    "failed to place {target} inter-community edges within the retry budget"
+                )));
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if community_of(u) == community_of(v) {
+                continue;
+            }
+            if add(&mut graph, &mut present, u, v)? {
+                placed += 1;
+            }
+        }
+    }
+    Ok(graph)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::traversal::{diameter_exact, is_connected};
+
+    #[test]
+    fn sparse_planted_partition_shape_and_density() {
+        let n = 2048;
+        let g = sparse_planted_partition(&GeneratorConfig::new(n, 5), 8, 12.0, 1.0).unwrap();
+        assert_eq!(g.node_count(), n);
+        assert!(is_connected(&g));
+        assert!(g.is_simple());
+        let expected = n as f64 * (12.0 + 1.0) / 2.0;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "edge count {actual} far from {expected}"
+        );
+        // Communities are denser inside than across: count cut edges.
+        let block = n / 8;
+        let cut = g
+            .edges()
+            .filter(|e| e.u.index() / block != e.v.index() / block)
+            .count();
+        assert!(cut * 4 < g.edge_count(), "cut edges {cut} not sparse");
+    }
+
+    #[test]
+    fn sparse_planted_partition_is_deterministic_and_validates() {
+        let a = sparse_planted_partition(&GeneratorConfig::new(256, 9), 4, 6.0, 0.5).unwrap();
+        let b = sparse_planted_partition(&GeneratorConfig::new(256, 9), 4, 6.0, 0.5).unwrap();
+        let ea: Vec<_> = a.edges().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+
+        let cfg = GeneratorConfig::new(64, 1);
+        assert!(sparse_planted_partition(&cfg, 0, 1.0, 1.0).is_err());
+        assert!(sparse_planted_partition(&cfg, 128, 1.0, 1.0).is_err());
+        assert!(sparse_planted_partition(&cfg, 2, -1.0, 1.0).is_err());
+        assert!(sparse_planted_partition(&cfg, 2, 1.0, f64::INFINITY).is_err());
+        assert!(sparse_planted_partition(&cfg, 2, 40.0, 1.0).is_err());
+        // Single community degenerates to sparse ER inside one block.
+        let single = sparse_planted_partition(&cfg, 1, 4.0, 0.0).unwrap();
+        assert!(is_connected(&single));
+    }
 
     #[test]
     fn planted_partition_shape() {

@@ -4,13 +4,13 @@
 //! sending `Ω(m)` messages is expensive; its guarantees must nevertheless
 //! hold on any connected graph. The generators therefore cover:
 //!
-//! * deterministic topologies with known structure ([`classic`]): paths,
+//! * deterministic topologies with known structure (`classic`): paths,
 //!   cycles, complete graphs, stars, balanced trees, 2-D tori, hypercubes;
-//! * random graphs ([`random`]): Erdős–Rényi `G(n, p)` and `G(n, m)`,
+//! * random graphs (`random`): Erdős–Rényi `G(n, p)` and `G(n, m)`,
 //!   random regular graphs, and connected variants;
-//! * heavy-tailed degree distributions ([`scale_free`]): Barabási–Albert
+//! * heavy-tailed degree distributions (`scale_free`): Barabási–Albert
 //!   preferential attachment;
-//! * community structure ([`community`]): planted-partition graphs and
+//! * community structure (`community`): planted-partition graphs and
 //!   dumbbells (two dense cliques joined by a sparse bridge) — the worst
 //!   cases for naive flooding-based simulation.
 //!
@@ -25,8 +25,12 @@ mod scale_free;
 pub use classic::{
     balanced_binary_tree, complete_graph, cycle_graph, hypercube, path_graph, star_graph, torus_2d,
 };
-pub use community::{dumbbell, planted_partition, PlantedPartitionParams};
-pub use random::{connected_erdos_renyi, erdos_renyi, gnm_random, random_regular};
+pub use community::{
+    dumbbell, planted_partition, sparse_planted_partition, PlantedPartitionParams,
+};
+pub use random::{
+    connected_erdos_renyi, erdos_renyi, gnm_random, random_regular, sparse_connected_erdos_renyi,
+};
 pub use scale_free::barabasi_albert;
 
 use crate::error::{GraphError, GraphResult};

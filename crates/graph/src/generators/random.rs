@@ -81,6 +81,95 @@ pub fn connected_erdos_renyi(config: &GeneratorConfig, p: f64) -> GraphResult<Mu
     Ok(graph)
 }
 
+/// Sparse connected Erdős–Rényi graph in `O(n + m)` expected time,
+/// parameterized by the *expected average degree* instead of the edge
+/// probability.
+///
+/// The quadratic pair scan of [`connected_erdos_renyi`] is fine up to a few
+/// thousand nodes but hopeless at the million-node scale the scaling
+/// experiments target; this variant uses Batagelj–Brandes geometric skip
+/// sampling (each skip length is drawn from the geometric distribution of
+/// the gap between successive successes of a Bernoulli process), so the
+/// work is proportional to the number of edges actually produced.
+/// Connectivity is guaranteed by a random Hamiltonian path, exactly as in
+/// the dense variant.
+///
+/// The distribution matches `G(n, p)` with `p = expected_degree / (n − 1)`
+/// (conditioned on the backbone), but the *stream of random draws* differs
+/// from [`connected_erdos_renyi`], so equal seeds do not produce equal
+/// graphs across the two functions.
+///
+/// # Errors
+///
+/// Returns an error if fewer than one node is requested or
+/// `expected_degree` is negative, not finite, or at least `n − 1` (use the
+/// dense generator for that regime).
+pub fn sparse_connected_erdos_renyi(
+    config: &GeneratorConfig,
+    expected_degree: f64,
+) -> GraphResult<MultiGraph> {
+    config.require_at_least(1)?;
+    let n = config.nodes;
+    if !expected_degree.is_finite() || expected_degree < 0.0 {
+        return Err(GraphError::invalid_parameter(format!(
+            "expected degree must be finite and non-negative, got {expected_degree}"
+        )));
+    }
+    if n > 1 && expected_degree >= (n - 1) as f64 {
+        return Err(GraphError::invalid_parameter(format!(
+            "expected degree {expected_degree} too close to n - 1 = {}; use connected_erdos_renyi",
+            n - 1
+        )));
+    }
+    let p = if n > 1 {
+        expected_degree / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut rng = config.rng();
+
+    // Random Hamiltonian path guaranteeing connectivity.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut present: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::with_capacity(n + (expected_degree * n as f64 / 2.0) as usize);
+    let expected_edges = n + (expected_degree * n as f64 / 2.0) as usize;
+    let mut graph = MultiGraph::with_capacity(n, expected_edges);
+    for w in order.windows(2) {
+        let key = (w[0].min(w[1]), w[0].max(w[1]));
+        present.insert(key);
+        graph.add_edge(NodeId::from_usize(key.0), NodeId::from_usize(key.1))?;
+    }
+    if p <= 0.0 {
+        return Ok(graph);
+    }
+
+    // Batagelj–Brandes skip sampling over the upper-triangle pairs (w, v)
+    // with w < v: jump ahead by a geometrically distributed gap instead of
+    // flipping a coin per pair.
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.gen();
+        // `as i64` saturates for huge ratios (tiny p, r near 1), and the
+        // saturating adds keep the accumulated position from overflowing.
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w = w.saturating_add(1).saturating_add(skip.max(0));
+        while v < n && w >= v as i64 {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            let key = (w as usize, v);
+            if present.insert(key) {
+                graph.add_edge(NodeId::from_usize(key.0), NodeId::from_usize(key.1))?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
 /// Uniform random graph with exactly `m` distinct edges (`G(n, m)` model).
 ///
 /// # Errors
@@ -245,6 +334,48 @@ mod tests {
         let expected = 0.2 * (n * (n - 1)) as f64 / 2.0;
         assert!((g.edge_count() as f64) < 1.3 * expected + n as f64);
         assert!((g.edge_count() as f64) > 0.7 * expected);
+    }
+
+    #[test]
+    fn sparse_variant_is_connected_simple_and_near_target_density() {
+        let n = 2000;
+        let degree = 8.0;
+        let g = sparse_connected_erdos_renyi(&cfg(n, 11), degree).unwrap();
+        assert!(is_connected(&g));
+        assert!(g.is_simple());
+        // n − 1 backbone edges plus ≈ n·degree/2 sampled ones (minus the
+        // small overlap with the backbone).
+        let expected = (n - 1) as f64 + degree * n as f64 / 2.0;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() < 0.2 * expected,
+            "edge count {actual} far from {expected}"
+        );
+    }
+
+    #[test]
+    fn sparse_variant_is_deterministic_and_validates_parameters() {
+        let a = sparse_connected_erdos_renyi(&cfg(300, 4), 6.0).unwrap();
+        let b = sparse_connected_erdos_renyi(&cfg(300, 4), 6.0).unwrap();
+        let ea: Vec<_> = a.edges().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+
+        // Degree 0 degenerates to the backbone path.
+        let path = sparse_connected_erdos_renyi(&cfg(50, 1), 0.0).unwrap();
+        assert_eq!(path.edge_count(), 49);
+        assert!(is_connected(&path));
+        assert_eq!(
+            sparse_connected_erdos_renyi(&cfg(1, 1), 0.0)
+                .unwrap()
+                .edge_count(),
+            0
+        );
+
+        assert!(sparse_connected_erdos_renyi(&cfg(10, 1), -1.0).is_err());
+        assert!(sparse_connected_erdos_renyi(&cfg(10, 1), f64::NAN).is_err());
+        assert!(sparse_connected_erdos_renyi(&cfg(10, 1), 9.0).is_err());
+        assert!(sparse_connected_erdos_renyi(&cfg(0, 1), 1.0).is_err());
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! * [`MultiGraph`] — an undirected graph with **unique edge IDs** and
 //!   native support for **parallel edges**, matching the model assumption of
 //!   Section 1.1 and the cluster graphs of Section 2;
+//! * [`CsrGraph`] — the frozen compressed-sparse-row view produced by
+//!   [`MultiGraph::freeze`]: packed incidence arrays, memoized
+//!   distinct-neighbor sets and array-indexed edge lookup for the hot loops
+//!   of the runtime and the traversal routines ([`Topology`] abstracts over
+//!   both representations);
 //! * [`cluster`] — cluster collections and the cluster-graph contraction
 //!   `G(C)` used between the levels of the `Sampler` hierarchy;
 //! * [`traversal`] — BFS distances, balls `B_{G,t}(v)`, connectivity and
@@ -41,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod multigraph;
@@ -49,6 +55,7 @@ pub mod traversal;
 
 mod ids;
 
+pub use csr::{CsrGraph, Topology};
 pub use error::{GraphError, GraphResult};
 pub use ids::{ClusterId, EdgeId, NodeId};
 pub use multigraph::{Edge, IncidentEdge, MultiGraph};

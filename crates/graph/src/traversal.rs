@@ -5,9 +5,16 @@
 //! spanner against adjacency in the original graph, and the `t`-local
 //! broadcast task of Section 6 is defined in terms of the ball
 //! `B_{G,t}(v) = {u : dist_G(v, u) ≤ t}`.
+//!
+//! Every routine is generic over [`Topology`], so it runs both on the
+//! mutable [`MultiGraph`](crate::MultiGraph) and on the packed
+//! [`CsrGraph`](crate::CsrGraph) view produced by
+//! [`MultiGraph::freeze`](crate::MultiGraph::freeze) — freeze first when a
+//! graph is scanned repeatedly (e.g. the per-node ball queries of the
+//! simulation verifier).
 
+use crate::csr::Topology;
 use crate::error::{GraphError, GraphResult};
-use crate::multigraph::MultiGraph;
 use crate::{EdgeId, NodeId};
 use std::collections::VecDeque;
 
@@ -58,7 +65,11 @@ impl BfsResult {
 /// # Errors
 ///
 /// Returns [`GraphError::NodeOutOfRange`] if `source` is not a node of `graph`.
-pub fn bfs(graph: &MultiGraph, source: NodeId, max_depth: Option<u32>) -> GraphResult<BfsResult> {
+pub fn bfs<G: Topology>(
+    graph: &G,
+    source: NodeId,
+    max_depth: Option<u32>,
+) -> GraphResult<BfsResult> {
     graph.check_node(source)?;
     let n = graph.node_count();
     let mut dist = vec![None; n];
@@ -103,7 +114,7 @@ pub fn bfs(graph: &MultiGraph, source: NodeId, max_depth: Option<u32>) -> GraphR
 /// # Errors
 ///
 /// Returns an error if `source` is out of range.
-pub fn bfs_distances(graph: &MultiGraph, source: NodeId) -> GraphResult<Vec<Option<u32>>> {
+pub fn bfs_distances<G: Topology>(graph: &G, source: NodeId) -> GraphResult<Vec<Option<u32>>> {
     Ok(bfs(graph, source, None)?.dist)
 }
 
@@ -113,7 +124,7 @@ pub fn bfs_distances(graph: &MultiGraph, source: NodeId) -> GraphResult<Vec<Opti
 /// # Errors
 ///
 /// Returns an error if `source` is out of range.
-pub fn ball(graph: &MultiGraph, source: NodeId, radius: u32) -> GraphResult<Vec<NodeId>> {
+pub fn ball<G: Topology>(graph: &G, source: NodeId, radius: u32) -> GraphResult<Vec<NodeId>> {
     let result = bfs(graph, source, Some(radius))?;
     let mut nodes: Vec<NodeId> = result
         .dist
@@ -135,8 +146,8 @@ pub fn ball(graph: &MultiGraph, source: NodeId, radius: u32) -> GraphResult<Vec<
 /// # Errors
 ///
 /// Returns an error if either node is out of range.
-pub fn shortest_path_len(
-    graph: &MultiGraph,
+pub fn shortest_path_len<G: Topology>(
+    graph: &G,
     u: NodeId,
     v: NodeId,
     max_depth: Option<u32>,
@@ -194,7 +205,7 @@ impl Components {
 }
 
 /// Computes the connected components of `graph`.
-pub fn connected_components(graph: &MultiGraph) -> Components {
+pub fn connected_components<G: Topology>(graph: &G) -> Components {
     let n = graph.node_count();
     let mut component = vec![usize::MAX; n];
     let mut count = 0;
@@ -221,7 +232,7 @@ pub fn connected_components(graph: &MultiGraph) -> Components {
 
 /// Returns `true` if the graph is connected (the empty graph and the
 /// single-node graph are considered connected).
-pub fn is_connected(graph: &MultiGraph) -> bool {
+pub fn is_connected<G: Topology>(graph: &G) -> bool {
     graph.node_count() <= 1 || connected_components(graph).count == 1
 }
 
@@ -232,7 +243,7 @@ pub fn is_connected(graph: &MultiGraph) -> bool {
 ///
 /// Returns [`GraphError::Disconnected`] when the graph has more than one
 /// connected component.
-pub fn require_connected(graph: &MultiGraph) -> GraphResult<()> {
+pub fn require_connected<G: Topology>(graph: &G) -> GraphResult<()> {
     let components = connected_components(graph);
     if graph.node_count() <= 1 || components.count == 1 {
         Ok(())
@@ -248,7 +259,7 @@ pub fn require_connected(graph: &MultiGraph) -> GraphResult<()> {
 /// # Errors
 ///
 /// Returns an error if `node` is out of range.
-pub fn eccentricity(graph: &MultiGraph, node: NodeId) -> GraphResult<u32> {
+pub fn eccentricity<G: Topology>(graph: &G, node: NodeId) -> GraphResult<u32> {
     let result = bfs(graph, node, None)?;
     Ok(result.dist.iter().flatten().copied().max().unwrap_or(0))
 }
@@ -259,7 +270,7 @@ pub fn eccentricity(graph: &MultiGraph, node: NodeId) -> GraphResult<u32> {
 /// # Errors
 ///
 /// Returns [`GraphError::Disconnected`] if the graph is not connected.
-pub fn diameter_exact(graph: &MultiGraph) -> GraphResult<u32> {
+pub fn diameter_exact<G: Topology>(graph: &G) -> GraphResult<u32> {
     require_connected(graph)?;
     let mut best = 0;
     for node in graph.nodes() {
@@ -276,7 +287,7 @@ pub fn diameter_exact(graph: &MultiGraph) -> GraphResult<u32> {
 ///
 /// Returns [`GraphError::Disconnected`] if the graph is not connected, or an
 /// invalid-parameter error if `samples` is zero.
-pub fn diameter_lower_bound(graph: &MultiGraph, samples: usize) -> GraphResult<u32> {
+pub fn diameter_lower_bound<G: Topology>(graph: &G, samples: usize) -> GraphResult<u32> {
     if samples == 0 {
         return Err(GraphError::invalid_parameter("samples must be positive"));
     }
@@ -296,6 +307,7 @@ pub fn diameter_lower_bound(graph: &MultiGraph, samples: usize) -> GraphResult<u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multigraph::MultiGraph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -5,13 +5,59 @@
 //! the paper: in every round each node may send one message over each
 //! incident edge (message size is not bounded), receives the messages sent
 //! to it in that round, and performs arbitrary local computation.
+//!
+//! # Sharded parallel execution
+//!
+//! Every round has two phases. The *execute* phase steps each node's
+//! program against its snapshot of delivered messages — nodes are mutually
+//! independent within a round, so the engine partitions them into
+//! [`NetworkConfig::shards`] contiguous shards and steps each shard on its
+//! own worker thread. The *dispatch* phase then merges the per-node
+//! outboxes at a round barrier, always in ascending node order (and, per
+//! node, in send order): the exact order the sequential engine produces.
+//! Because each node also draws from its own seeded
+//! [`ChaCha8Rng`] stream, every observable of an
+//! execution — [`ExecutionMetrics`], [`Trace`], program outputs — is
+//! **bit-identical for every shard count** at equal seeds. Sharding is a
+//! wall-clock knob, never a semantics knob.
+//!
+//! ```
+//! use freelunch_graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+//! use freelunch_runtime::{Context, Envelope, Network, NetworkConfig, NodeProgram};
+//!
+//! /// Two rounds of min-ID flooding.
+//! struct MinFlood(u32);
+//! impl NodeProgram for MinFlood {
+//!     type Message = u32;
+//!     fn init(&mut self, ctx: &mut Context<'_, u32>) {
+//!         ctx.broadcast(self.0);
+//!     }
+//!     fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[Envelope<u32>]) {
+//!         self.0 = inbox.iter().map(|e| e.payload).chain([self.0]).min().unwrap();
+//!         if ctx.round() < 2 { ctx.broadcast(self.0); } else { ctx.halt(); }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(64, 3), 4.0)?;
+//! let run = |config: NetworkConfig| -> Result<_, Box<dyn std::error::Error>> {
+//!     let mut network = Network::new(&graph, config, |v, _| MinFlood(v.raw()))?;
+//!     network.run_until_halt(4)?;
+//!     Ok((network.cost(), network.metrics().clone()))
+//! };
+//! let sequential = run(NetworkConfig::with_seed(7))?;
+//! let sharded = run(NetworkConfig::with_seed(7).sharded(4))?;
+//! assert_eq!(sequential, sharded); // identical CostReport *and* per-round metrics
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
 use crate::metrics::{CostReport, ExecutionMetrics};
-use crate::node::{Context, Envelope, NodeProgram};
+use crate::node::{Context, Envelope, NodeProgram, Outgoing};
 use crate::trace::{Trace, TraceEvent};
-use freelunch_graph::{EdgeId, MultiGraph, NodeId};
+use freelunch_graph::{CsrGraph, EdgeId, MultiGraph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -29,6 +75,12 @@ pub struct NetworkConfig {
     /// Maximum number of message events stored in the trace (0 disables
     /// tracing; message *counts* are always exact regardless).
     pub trace_capacity: usize,
+    /// Number of worker shards the execute phase of each round is split
+    /// into (1 = sequential). Shard counts above the node count are clamped
+    /// down; 0 is rejected by [`Network::new`]. Every observable of the
+    /// execution is bit-identical for every shard count — see the
+    /// [module docs](self).
+    pub shards: usize,
 }
 
 impl Default for NetworkConfig {
@@ -38,6 +90,7 @@ impl Default for NetworkConfig {
             seed: 0,
             log_n_slack: 1,
             trace_capacity: 0,
+            shards: 1,
         }
     }
 }
@@ -60,6 +113,14 @@ impl NetworkConfig {
     /// Returns a copy that stores up to `capacity` trace events.
     pub fn traced(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy that executes each round's node programs on `shards`
+    /// worker threads. The execution stays bit-identical to the sequential
+    /// engine (see the [module docs](self)); only wall-clock time changes.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -112,7 +173,12 @@ fn node_seed(seed: u64, node: usize) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct Network<P: NodeProgram> {
-    graph: MultiGraph,
+    /// Frozen CSR view of the communication graph: packed incidence arrays
+    /// for the setup scans and array-indexed edge lookup for the
+    /// per-message dispatch validation (the hottest lookup in the engine).
+    /// The network never needs the mutable [`MultiGraph`] after
+    /// construction, so this is the only copy it keeps.
+    csr: CsrGraph,
     config: NetworkConfig,
     knowledge: Vec<InitialKnowledge>,
     port_edges: Vec<Vec<EdgeId>>,
@@ -124,6 +190,20 @@ pub struct Network<P: NodeProgram> {
     trace: Trace,
     round: u32,
     initialized: bool,
+}
+
+/// What one node produced during the execute phase of a round: its halt
+/// flag and its outbox, dispatched at the round barrier in node order.
+struct NodeOutcome<M> {
+    halted: bool,
+    outbox: Vec<Outgoing<M>>,
+}
+
+/// Which program entry point the execute phase calls.
+#[derive(Clone, Copy)]
+enum Phase {
+    Init,
+    Round,
 }
 
 impl<P: NodeProgram> Network<P> {
@@ -143,10 +223,16 @@ impl<P: NodeProgram> Network<P> {
                 "the communication graph has no nodes",
             ));
         }
-        let knowledge = initial_knowledge(graph, config.knowledge, config.log_n_slack);
-        let port_edges: Vec<Vec<EdgeId>> = graph
+        if config.shards == 0 {
+            return Err(RuntimeError::invalid_config(
+                "the shard count must be at least 1",
+            ));
+        }
+        let csr = graph.freeze();
+        let knowledge = initial_knowledge(&csr, config.knowledge, config.log_n_slack);
+        let port_edges: Vec<Vec<EdgeId>> = csr
             .nodes()
-            .map(|v| graph.incident_edges(v).iter().map(|ie| ie.edge).collect())
+            .map(|v| csr.incident_edges(v).iter().map(|ie| ie.edge).collect())
             .collect();
         let programs: Vec<P> = knowledge.iter().map(|k| factory(k.node, k)).collect();
         let rngs = (0..graph.node_count())
@@ -154,7 +240,7 @@ impl<P: NodeProgram> Network<P> {
             .collect();
         let node_count = graph.node_count();
         Ok(Network {
-            graph: graph.clone(),
+            csr,
             config,
             knowledge,
             port_edges,
@@ -169,9 +255,10 @@ impl<P: NodeProgram> Network<P> {
         })
     }
 
-    /// The communication graph the network runs on.
-    pub fn graph(&self) -> &MultiGraph {
-        &self.graph
+    /// The communication graph the network runs on, as its frozen
+    /// [`CsrGraph`] view (the network keeps no mutable copy).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.csr
     }
 
     /// The configuration the network was built with.
@@ -230,15 +317,116 @@ impl<P: NodeProgram> Network<P> {
         self.pending.iter().map(Vec::len).sum()
     }
 
+    /// Effective shard count: the configured value clamped to the node
+    /// count (a shard with no nodes would be a useless thread).
+    pub fn shard_count(&self) -> usize {
+        self.config.shards.min(self.programs.len()).max(1)
+    }
+
+    /// Execute phase: steps every program once (init or round), returning
+    /// the per-node outcomes in node order. With more than one shard the
+    /// nodes are split into contiguous chunks stepped on scoped worker
+    /// threads; the outcome vector is assembled in shard order, so it is
+    /// identical to the sequential one.
+    fn execute_phase(
+        &mut self,
+        round: u32,
+        mut inboxes: Vec<Vec<Envelope<P::Message>>>,
+        phase: Phase,
+    ) -> Vec<NodeOutcome<P::Message>> {
+        let shards = self.shard_count();
+        let knowledge = &self.knowledge;
+        let port_edges = &self.port_edges;
+
+        let step = |index: usize,
+                    program: &mut P,
+                    rng: &mut ChaCha8Rng,
+                    inbox: &[Envelope<P::Message>]| {
+            let mut ctx = Context::new(&knowledge[index], &port_edges[index], round, rng);
+            match phase {
+                Phase::Init => program.init(&mut ctx),
+                Phase::Round => program.round(&mut ctx, inbox),
+            }
+            NodeOutcome {
+                halted: ctx.halted,
+                outbox: std::mem::take(&mut ctx.outbox),
+            }
+        };
+
+        if shards == 1 {
+            return self
+                .programs
+                .iter_mut()
+                .zip(self.rngs.iter_mut())
+                .zip(inboxes.iter())
+                .enumerate()
+                .map(|(index, ((program, rng), inbox))| step(index, program, rng, inbox))
+                .collect();
+        }
+
+        let chunk = self.programs.len().div_ceil(shards);
+        let mut shard_outcomes: Vec<Vec<NodeOutcome<P::Message>>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .programs
+                .chunks_mut(chunk)
+                .zip(self.rngs.chunks_mut(chunk))
+                .zip(inboxes.chunks_mut(chunk))
+                .enumerate()
+                .map(|(shard, ((programs, rngs), inboxes))| {
+                    let base = shard * chunk;
+                    let step = &step;
+                    scope.spawn(move || {
+                        programs
+                            .iter_mut()
+                            .zip(rngs.iter_mut())
+                            .zip(inboxes.iter())
+                            .enumerate()
+                            .map(|(offset, ((program, rng), inbox))| {
+                                step(base + offset, program, rng, inbox)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(outcomes) => shard_outcomes.push(outcomes),
+                    // A panicking program panics the whole execution, just
+                    // like in the sequential engine.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        shard_outcomes.into_iter().flatten().collect()
+    }
+
+    /// Dispatch phase: applies the execute-phase outcomes at the round
+    /// barrier, in ascending node order — the canonical order that makes
+    /// metrics, traces and pending queues independent of the shard count.
+    fn dispatch_outcomes(
+        &mut self,
+        outcomes: Vec<NodeOutcome<P::Message>>,
+        round: u32,
+    ) -> RuntimeResult<()> {
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            if outcome.halted {
+                self.halted[index] = true;
+            }
+            self.dispatch(NodeId::from_usize(index), outcome.outbox, round)?;
+        }
+        Ok(())
+    }
+
     fn dispatch(
         &mut self,
         sender: NodeId,
-        outbox: Vec<crate::node::Outgoing<P::Message>>,
+        outbox: Vec<Outgoing<P::Message>>,
         round: u32,
     ) -> RuntimeResult<()> {
         for outgoing in outbox {
             let edge = self
-                .graph
+                .csr
                 .edge(outgoing.edge)
                 .map_err(|_| RuntimeError::UnknownEdge {
                     edge: outgoing.edge,
@@ -278,21 +466,10 @@ impl<P: NodeProgram> Network<P> {
         if self.initialized {
             return Ok(());
         }
-        for index in 0..self.programs.len() {
-            let node = NodeId::from_usize(index);
-            let mut ctx = Context::new(
-                &self.knowledge[index],
-                &self.port_edges[index],
-                0,
-                &mut self.rngs[index],
-            );
-            self.programs[index].init(&mut ctx);
-            let halted = ctx.halted;
-            let outbox = std::mem::take(&mut ctx.outbox);
-            drop(ctx);
-            self.halted[index] = halted;
-            self.dispatch(node, outbox, 0)?;
-        }
+        let empty_inboxes: Vec<Vec<Envelope<P::Message>>> =
+            (0..self.programs.len()).map(|_| Vec::new()).collect();
+        let outcomes = self.execute_phase(0, empty_inboxes, Phase::Init);
+        self.dispatch_outcomes(outcomes, 0)?;
         self.initialized = true;
         Ok(())
     }
@@ -310,24 +487,9 @@ impl<P: NodeProgram> Network<P> {
         self.metrics.start_round();
         let inboxes: Vec<Vec<Envelope<P::Message>>> =
             self.pending.iter_mut().map(std::mem::take).collect();
-        for (index, inbox) in inboxes.into_iter().enumerate() {
-            let node = NodeId::from_usize(index);
-            let mut ctx = Context::new(
-                &self.knowledge[index],
-                &self.port_edges[index],
-                self.round,
-                &mut self.rngs[index],
-            );
-            self.programs[index].round(&mut ctx, &inbox);
-            let halted = ctx.halted;
-            let outbox = std::mem::take(&mut ctx.outbox);
-            drop(ctx);
-            if halted {
-                self.halted[index] = true;
-            }
-            self.dispatch(node, outbox, self.round)?;
-        }
-        Ok(())
+        let round = self.round;
+        let outcomes = self.execute_phase(round, inboxes, Phase::Round);
+        self.dispatch_outcomes(outcomes, round)
     }
 
     /// Runs exactly `rounds` synchronous rounds.
@@ -597,6 +759,109 @@ mod tests {
         // Different nodes with the same network seed draw different values.
         assert_ne!(node_seed(7, 0), node_seed(7, 1));
         assert_ne!(node_seed(7, 1), node_seed(8, 1));
+    }
+
+    /// Every node draws random values each round and gossips them; the
+    /// drawn values, message pattern and halting round all depend on the
+    /// per-node RNG streams, making this a sharp determinism probe.
+    struct NoisyGossip {
+        sum: u64,
+    }
+
+    impl NodeProgram for NoisyGossip {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Context<'_, u64>) {
+            use rand::Rng;
+            let value: u64 = ctx.rng().gen();
+            self.sum = value;
+            ctx.broadcast(value);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[Envelope<u64>]) {
+            use rand::Rng;
+            for envelope in inbox {
+                self.sum = self.sum.wrapping_add(envelope.payload);
+            }
+            if ctx.round() < 3 {
+                // A randomized subset of ports each round.
+                for port in 0..ctx.degree() {
+                    if ctx.rng().gen_bool(0.5) {
+                        let value = self.sum.wrapping_add(port as u64);
+                        ctx.send_port(port, value);
+                    }
+                }
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    fn noisy_run(graph: &MultiGraph, shards: usize) -> (Vec<u64>, ExecutionMetrics, Trace) {
+        let config = NetworkConfig::with_seed(99).traced(10_000).sharded(shards);
+        let mut network = Network::new(graph, config, |_, _| NoisyGossip { sum: 0 }).unwrap();
+        network.run_until_halt(10).unwrap();
+        let metrics = network.metrics().clone();
+        let trace = network.trace().clone();
+        let sums = network.into_programs().into_iter().map(|p| p.sum).collect();
+        (sums, metrics, trace)
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_sequential() {
+        use freelunch_graph::generators::sparse_connected_erdos_renyi;
+        let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(61, 2), 5.0).unwrap();
+        let sequential = noisy_run(&graph, 1);
+        for shards in [2, 3, 8, 61, 200] {
+            let sharded = noisy_run(&graph, shards);
+            assert_eq!(sequential.0, sharded.0, "outputs differ at {shards} shards");
+            assert_eq!(sequential.1, sharded.1, "metrics differ at {shards} shards");
+            assert_eq!(sequential.2, sharded.2, "traces differ at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_zero_rejected() {
+        let graph = cycle(4);
+        let network = Network::new(&graph, NetworkConfig::default().sharded(100), |node, _| {
+            Flood::new(node)
+        })
+        .unwrap();
+        assert_eq!(network.shard_count(), 4);
+        assert!(
+            Network::new(&graph, NetworkConfig::default().sharded(0), |node, _| {
+                Flood::new(node)
+            })
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn sharded_dispatch_errors_match_sequential() {
+        /// Sends over an edge that is not incident to it.
+        struct Rogue;
+        impl NodeProgram for Rogue {
+            type Message = ();
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                if ctx.node() == NodeId::new(2) {
+                    ctx.send(EdgeId::new(0), ());
+                }
+            }
+        }
+        let graph = cycle(8);
+        for shards in [1, 4] {
+            let mut network =
+                Network::new(&graph, NetworkConfig::default().sharded(shards), |_, _| {
+                    Rogue
+                })
+                .unwrap();
+            assert_eq!(
+                network.run_round().unwrap_err(),
+                RuntimeError::NotIncident {
+                    node: NodeId::new(2),
+                    edge: EdgeId::new(0)
+                },
+                "at {shards} shards"
+            );
+        }
     }
 
     #[test]

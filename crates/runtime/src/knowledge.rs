@@ -7,7 +7,7 @@
 //! other variants (e.g. gossip schemes, KT1 leader election) can be compared
 //! under their own assumptions.
 
-use freelunch_graph::{EdgeId, MultiGraph, NodeId};
+use freelunch_graph::{EdgeId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Which information a node holds about its incident edges before the first
@@ -88,8 +88,8 @@ impl InitialKnowledge {
 ///
 /// The `log n` upper bound handed to the nodes is `ceil(log2 n) + slack`,
 /// modelling the paper's "O(1)-approximate upper bound on log n".
-pub fn initial_knowledge(
-    graph: &MultiGraph,
+pub fn initial_knowledge<G: Topology>(
+    graph: &G,
     model: KnowledgeModel,
     log_n_slack: u32,
 ) -> Vec<InitialKnowledge> {
@@ -121,6 +121,7 @@ pub fn initial_knowledge(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use freelunch_graph::MultiGraph;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

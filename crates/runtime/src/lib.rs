@@ -20,6 +20,12 @@
 //! which reports a [`CostReport`] (rounds + messages) and optional
 //! per-round / per-node metrics and message traces.
 //!
+//! The engine can step each round's node programs on multiple worker
+//! threads ([`NetworkConfig::sharded`]); outboxes are merged at a round
+//! barrier in canonical node order, so every observable of the execution is
+//! **bit-identical for every shard count** — see [`engine`] for the
+//! two-phase design.
+//!
 //! # Examples
 //!
 //! ```

@@ -159,9 +159,16 @@ impl<'a, M: Clone> Context<'a, M> {
 /// [`Network::new`](crate::engine::Network::new); the runtime then calls
 /// [`NodeProgram::init`] once and [`NodeProgram::round`] once per
 /// synchronous round, delivering the messages sent in the previous round.
-pub trait NodeProgram {
+///
+/// Programs (and their messages) must be [`Send`]: when the network is
+/// configured with more than one shard
+/// ([`NetworkConfig::sharded`](crate::engine::NetworkConfig::sharded)), each
+/// round steps the programs of different shards on different worker
+/// threads. Programs hold only per-node state, so this is automatic for
+/// ordinary implementations.
+pub trait NodeProgram: Send {
     /// The message type exchanged by this algorithm.
-    type Message: Clone + fmt::Debug;
+    type Message: Clone + fmt::Debug + Send;
 
     /// Called once before the first round; messages sent here are delivered
     /// in round 1.

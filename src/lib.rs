@@ -6,10 +6,14 @@
 //! The workspace is split into focused crates; this crate re-exports them so
 //! examples and downstream users can depend on a single entry point:
 //!
-//! * [`graph`] — multigraph substrate with unique edge IDs, generators,
-//!   traversal, cluster contraction and spanner verification.
+//! * [`graph`] — multigraph substrate with unique edge IDs, generators
+//!   (including `O(n + m)` sparse ones for million-node workloads),
+//!   traversal, cluster contraction, spanner verification, and the frozen
+//!   CSR view ([`graph::CsrGraph`]) behind the hot loops.
 //! * [`runtime`] — synchronous LOCAL-model simulator with message/round
-//!   accounting and per-node deterministic randomness.
+//!   accounting, per-node deterministic randomness, and a sharded parallel
+//!   round engine whose executions are bit-identical to the sequential one
+//!   at every shard count.
 //! * [`core`] — the paper's contribution: the `Sampler` spanner construction
 //!   and the message-reduction schemes built on top of it.
 //! * [`baselines`] — Baswana–Sen, Derbel-style, greedy spanners; gossip and
@@ -33,6 +37,13 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate map, the
+//! data-flow picture, and the paper-section → module table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use freelunch_algorithms as algorithms;
 pub use freelunch_baselines as baselines;

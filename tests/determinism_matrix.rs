@@ -1,0 +1,185 @@
+//! Determinism matrix: every LOCAL algorithm in `algorithms/` runs on three
+//! workload families with shard counts 1, 2 and 8, and every observable of
+//! the execution — program outputs, per-round/per-node message metrics, and
+//! the full message trace — must be bit-identical to the sequential
+//! (1-shard) engine. The `baselines/` constructions are covered by replay
+//! determinism: they drive their own deterministic processes (they do not
+//! run on the `Network`), so the property to pin down is that equal seeds
+//! reproduce equal outcomes regardless of what the engine is doing.
+
+use freelunch::algorithms::{
+    is_maximal_independent_set, is_maximal_matching, is_proper_coloring, BallGathering,
+    LocalLeaderElection, LubyMis, MaximalMatching, RandomizedColoring,
+};
+use freelunch::baselines::{direct_flooding, gossip_broadcast, BaswanaSen, GreedySpanner};
+use freelunch::core::spanner_api::SpannerAlgorithm;
+use freelunch::graph::generators::{
+    barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
+};
+use freelunch::graph::{MultiGraph, NodeId};
+use freelunch::runtime::{
+    ExecutionMetrics, InitialKnowledge, Network, NetworkConfig, NodeProgram, Trace,
+};
+use std::fmt::Debug;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn workloads() -> Vec<(&'static str, MultiGraph)> {
+    vec![
+        (
+            "sparse-er",
+            sparse_connected_erdos_renyi(&GeneratorConfig::new(96, 11), 6.0).unwrap(),
+        ),
+        (
+            "scale-free",
+            barabasi_albert(&GeneratorConfig::new(96, 12), 3).unwrap(),
+        ),
+        (
+            "communities",
+            sparse_planted_partition(&GeneratorConfig::new(96, 13), 4, 8.0, 1.0).unwrap(),
+        ),
+    ]
+}
+
+/// Runs `factory`'s program under every shard count and asserts that
+/// outputs, metrics and traces all match the sequential execution exactly.
+/// Returns the sequential outputs for algorithm-specific validation.
+fn assert_shard_invariant<P, O>(
+    graph: &MultiGraph,
+    seed: u64,
+    budget: u32,
+    factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy,
+    extract: impl Fn(&P) -> O,
+    label: &str,
+) -> Vec<O>
+where
+    P: NodeProgram,
+    O: PartialEq + Debug,
+{
+    let mut reference: Option<(Vec<O>, ExecutionMetrics, Trace)> = None;
+    for shards in SHARD_COUNTS {
+        let config = NetworkConfig::with_seed(seed)
+            .traced(100_000)
+            .sharded(shards);
+        let mut network = Network::new(graph, config, factory).unwrap();
+        network
+            .run_until_halt(budget)
+            .unwrap_or_else(|e| panic!("{label}: did not halt at {shards} shards: {e}"));
+        let outputs: Vec<O> = network.programs().iter().map(&extract).collect();
+        let metrics = network.metrics().clone();
+        let trace = network.trace().clone();
+        match &reference {
+            None => reference = Some((outputs, metrics, trace)),
+            Some((ref_outputs, ref_metrics, ref_trace)) => {
+                assert_eq!(
+                    ref_outputs, &outputs,
+                    "{label}: outputs differ at {shards} shards"
+                );
+                assert_eq!(
+                    ref_metrics, &metrics,
+                    "{label}: message metrics differ at {shards} shards"
+                );
+                assert_eq!(
+                    ref_trace, &trace,
+                    "{label}: traces differ at {shards} shards"
+                );
+            }
+        }
+    }
+    reference.expect("at least one shard count ran").0
+}
+
+#[test]
+fn luby_mis_is_shard_invariant_and_valid() {
+    for (name, graph) in workloads() {
+        let states = assert_shard_invariant(
+            &graph,
+            1,
+            300,
+            |_, knowledge| LubyMis::new(knowledge.degree()),
+            LubyMis::state,
+            &format!("luby-mis/{name}"),
+        );
+        assert!(is_maximal_independent_set(&graph, &states), "{name}");
+    }
+}
+
+#[test]
+fn randomized_coloring_is_shard_invariant_and_valid() {
+    for (name, graph) in workloads() {
+        let colors = assert_shard_invariant(
+            &graph,
+            2,
+            400,
+            |_, knowledge| RandomizedColoring::new(knowledge.degree()),
+            RandomizedColoring::color,
+            &format!("coloring/{name}"),
+        );
+        assert!(is_proper_coloring(&graph, &colors), "{name}");
+    }
+}
+
+#[test]
+fn ball_gathering_is_shard_invariant() {
+    for (name, graph) in workloads() {
+        assert_shard_invariant(
+            &graph,
+            3,
+            50,
+            |node, _| BallGathering::new(node, 2),
+            BallGathering::known_ids,
+            &format!("ball-gathering/{name}"),
+        );
+    }
+}
+
+#[test]
+fn leader_election_is_shard_invariant() {
+    for (name, graph) in workloads() {
+        assert_shard_invariant(
+            &graph,
+            4,
+            50,
+            |node, _| LocalLeaderElection::new(node, 2),
+            LocalLeaderElection::leader,
+            &format!("leader/{name}"),
+        );
+    }
+}
+
+#[test]
+fn maximal_matching_is_shard_invariant_and_valid() {
+    for (name, graph) in workloads() {
+        let matched = assert_shard_invariant(
+            &graph,
+            5,
+            300,
+            |_, _| MaximalMatching::new(),
+            MaximalMatching::matched_over,
+            &format!("matching/{name}"),
+        );
+        assert!(is_maximal_matching(&graph, &matched), "{name}");
+    }
+}
+
+#[test]
+fn baseline_constructions_replay_deterministically() {
+    for (name, graph) in workloads() {
+        let a = BaswanaSen::new(2).unwrap().construct(&graph, 7).unwrap();
+        let b = BaswanaSen::new(2).unwrap().construct(&graph, 7).unwrap();
+        assert_eq!(a.edges, b.edges, "baswana-sen/{name}");
+        assert_eq!(a.cost, b.cost, "baswana-sen/{name}");
+
+        let a = GreedySpanner::new(3).unwrap().construct(&graph, 7).unwrap();
+        let b = GreedySpanner::new(3).unwrap().construct(&graph, 7).unwrap();
+        assert_eq!(a.edges, b.edges, "greedy/{name}");
+
+        let a = gossip_broadcast(&graph, 2, 7).unwrap();
+        let b = gossip_broadcast(&graph, 2, 7).unwrap();
+        assert_eq!(a, b, "gossip/{name}");
+
+        let a = direct_flooding(&graph, 2).unwrap();
+        let b = direct_flooding(&graph, 2).unwrap();
+        assert_eq!(a, b, "flooding/{name}");
+    }
+}

@@ -167,6 +167,35 @@ fn sampler_and_baswana_sen_expose_the_message_gap() {
 }
 
 #[test]
+fn free_lunch_simulation_is_shard_invariant() {
+    // The full simulation pipeline — reference execution, t-local broadcast
+    // and ball-local verification — must produce the same report whether
+    // the runtime steps nodes sequentially or on 4 shards.
+    let graph = complete_graph(&GeneratorConfig::new(96, 10)).unwrap();
+    let params = practical_params(2);
+    let spanner = Sampler::new(params).run(&graph, 13).unwrap();
+    let t = 2;
+
+    let run = |shards: usize| {
+        simulate_with_spanner(
+            &graph,
+            spanner.spanner_edges(),
+            params.stretch_bound(),
+            spanner.cost,
+            t,
+            NetworkConfig::with_seed(5).sharded(shards),
+            |node, _| BallGathering::new(node, t),
+            |p| p.known_ids(),
+            6,
+        )
+        .unwrap()
+    };
+    let sequential = run(1);
+    assert!(sequential.outputs_match());
+    assert_eq!(sequential, run(4));
+}
+
+#[test]
 fn deterministic_end_to_end_replay() {
     let graph = connected_erdos_renyi(&GeneratorConfig::new(100, 2), 0.2).unwrap();
     let scheme = SamplerScheme::with_constants(
