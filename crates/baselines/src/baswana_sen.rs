@@ -13,17 +13,28 @@
 //! phase each node exchanges its cluster identifier with **all** of its
 //! neighbors, so the message complexity is `Θ(k·m)` — the `Ω(m)` barrier the
 //! paper's algorithm removes.
+//!
+//! Each phase's cluster-identifier wave is metered through the
+//! workspace-wide [`MessageLedger`]: every
+//! still-alive edge carries one 4-byte identifier in each direction per
+//! wave. Ledger round slots count these communication waves;
+//! [`CostReport::rounds`] stays the authoritative round complexity of the
+//! protocol (it also charges the silent coordination rounds). See
+//! `docs/METRICS.md` for the contract.
 
 use crate::error::{BaselineError, BaselineResult};
 use freelunch_core::spanner_api::{SpannerAlgorithm, SpannerResult};
 use freelunch_core::CoreResult;
 use freelunch_graph::{EdgeId, MultiGraph, NodeId};
-use freelunch_runtime::CostReport;
+use freelunch_runtime::{edge_slot_count, CostReport, MessageLedger};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+
+/// Wire size charged per cluster-identifier message (a `u32` center ID).
+const CLUSTER_ID_BYTES: u64 = 4;
 
 /// The Baswana–Sen construction with stretch parameter `k` (stretch `2k−1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,13 +86,19 @@ impl BaswanaSen {
         // Edges still alive (not yet discarded).
         let mut alive: BTreeSet<EdgeId> = graph.edge_ids().collect();
         let mut spanner: BTreeSet<EdgeId> = BTreeSet::new();
-        let mut messages: u64 = 0;
+        // One ledger round slot per communication wave; `alive` iterates in
+        // ascending edge order, so the accumulation is canonical.
+        let mut ledger = MessageLedger::new(edge_slot_count(graph.edge_ids()));
         let mut rounds: u64 = 0;
 
         for _phase in 1..self.k {
             // Every alive edge carries the cluster identifiers of both
             // endpoints in both directions: Θ(m) messages per phase.
-            messages += 2 * alive.len() as u64;
+            ledger.start_round();
+            for &edge in &alive {
+                ledger.record_edge(edge, CLUSTER_ID_BYTES);
+                ledger.record_edge(edge, CLUSTER_ID_BYTES);
+            }
             rounds += 3; // sample + announce + join, as in the distributed version.
 
             // Sample clusters.
@@ -149,7 +166,11 @@ impl BaswanaSen {
 
         // Final phase: every node connects once to every adjacent surviving
         // cluster.
-        messages += 2 * alive.len() as u64;
+        ledger.start_round();
+        for &edge in &alive {
+            ledger.record_edge(edge, CLUSTER_ID_BYTES);
+            ledger.record_edge(edge, CLUSTER_ID_BYTES);
+        }
         rounds += 2;
         for v in graph.nodes() {
             let mut by_cluster: HashMap<NodeId, EdgeId> = HashMap::new();
@@ -171,8 +192,12 @@ impl BaswanaSen {
 
         Ok(BaswanaSenOutcome {
             spanner: spanner.into_iter().collect(),
-            cost: CostReport { rounds, messages },
+            cost: CostReport {
+                rounds,
+                messages: ledger.total_messages(),
+            },
             stretch: self.stretch(),
+            ledger,
         })
     }
 }
@@ -187,6 +212,9 @@ pub struct BaswanaSenOutcome {
     pub cost: CostReport,
     /// The stretch guarantee `2k−1`.
     pub stretch: u32,
+    /// Per-edge / per-wave message accounting (round slots count
+    /// communication waves, one per phase; see the module docs).
+    pub ledger: MessageLedger,
 }
 
 impl SpannerAlgorithm for BaswanaSen {
@@ -268,6 +296,27 @@ mod tests {
         assert_eq!(result.multiplicative_stretch, 3);
         assert!(result.algorithm.contains("baswana-sen"));
         assert!(!result.edges.is_empty());
+    }
+
+    #[test]
+    fn ledger_waves_match_cost_and_shrink_with_alive_edges() {
+        let graph = complete_graph(&GeneratorConfig::new(60, 0)).unwrap();
+        let algorithm = BaswanaSen::new(3).unwrap();
+        let outcome = algorithm.run(&graph, 5).unwrap();
+        let ledger = &outcome.ledger;
+        assert_eq!(ledger.total_messages(), outcome.cost.messages);
+        // One wave per phase: k−1 clustering phases + the final joining one.
+        assert_eq!(ledger.rounds(), u64::from(algorithm.k));
+        // Wave 1 touches every edge twice (all edges start alive), and later
+        // waves only touch surviving edges.
+        assert_eq!(
+            ledger.messages_per_round()[1],
+            2 * graph.edge_count() as u64
+        );
+        assert!(ledger.messages_per_round()[2] <= ledger.messages_per_round()[1]);
+        // Each wave puts exactly 2 cluster-ID messages of 4 bytes on an edge.
+        assert_eq!(ledger.max_congestion(), 2);
+        assert_eq!(ledger.total_bytes(), 4 * ledger.total_messages());
     }
 
     #[test]

@@ -16,18 +16,28 @@
 //! their incident edges, and one edge is kept between every pair of adjacent
 //! clusters. The result is a constant-stretch (`4ρ+1` for adjacent pairs) spanner built in
 //! `O(ρ)` rounds with `Θ(ρ·m)` messages.
+//!
+//! The direct distributed execution is metered through the workspace-wide
+//! [`MessageLedger`]: in each of its
+//! `ρ + 2` rounds every edge carries one 4-byte cluster/BFS token in each
+//! direction — the `Θ(ρ·m)` bill the two-stage scheme avoids by simulating
+//! this construction over the `Sampler` spanner instead. See
+//! `docs/METRICS.md` for the contract.
 
 use crate::error::{BaselineError, BaselineResult};
 use freelunch_core::spanner_api::{SpannerAlgorithm, SpannerResult};
 use freelunch_core::CoreResult;
 use freelunch_graph::traversal::bfs;
 use freelunch_graph::{EdgeId, MultiGraph, NodeId};
-use freelunch_runtime::CostReport;
+use freelunch_runtime::{edge_slot_count, CostReport, MessageLedger};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+
+/// Wire size charged per cluster/BFS token message (a `u32` identifier).
+const TOKEN_BYTES: u64 = 4;
 
 /// Radius-`ρ` clustering spanner standing in for the Derbel et al. second
 /// stage.
@@ -143,9 +153,20 @@ impl ClusterSpanner {
         }
         spanner.extend(between.values().copied());
 
+        // Meter the direct distributed execution: in each of the ρ + 2
+        // rounds every edge carries one 4-byte token in each direction
+        // (edges iterate in ascending ID order — canonical accumulation).
+        let mut ledger = MessageLedger::new(edge_slot_count(graph.edge_ids()));
+        for _round in 0..self.radius + 2 {
+            ledger.start_round();
+            for edge in graph.edge_ids() {
+                ledger.record_edge(edge, TOKEN_BYTES);
+                ledger.record_edge(edge, TOKEN_BYTES);
+            }
+        }
         let cost = CostReport {
             rounds: u64::from(self.radius) + 2,
-            messages: (u64::from(self.radius) + 2) * 2 * graph.edge_count() as u64,
+            messages: ledger.total_messages(),
         };
         Ok(ClusterSpannerOutcome {
             spanner: spanner.into_iter().collect(),
@@ -153,6 +174,7 @@ impl ClusterSpanner {
             uncovered_nodes: uncovered,
             cost,
             stretch: self.stretch(),
+            ledger,
         })
     }
 }
@@ -171,6 +193,9 @@ pub struct ClusterSpannerOutcome {
     pub cost: CostReport,
     /// Stretch guarantee `4ρ + 1`.
     pub stretch: u32,
+    /// Per-edge / per-round message accounting of the direct execution —
+    /// the same meter every other path reports through.
+    pub ledger: MessageLedger,
 }
 
 impl SpannerAlgorithm for ClusterSpanner {
@@ -249,6 +274,22 @@ mod tests {
         let outcome = algorithm.run(&graph, 1).unwrap();
         assert_eq!(outcome.uncovered_nodes, 0);
         assert_eq!(outcome.centers, graph.node_count());
+    }
+
+    #[test]
+    fn ledger_charges_every_edge_every_round() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(50, 4), 0.2).unwrap();
+        let algorithm = ClusterSpanner::new(2).unwrap();
+        let outcome = algorithm.run(&graph, 3).unwrap();
+        let ledger = &outcome.ledger;
+        assert_eq!(ledger.total_messages(), outcome.cost.messages);
+        assert_eq!(ledger.rounds(), outcome.cost.rounds);
+        // Every edge carries 2 messages in every round: uniform per-edge
+        // totals and congestion exactly 2.
+        let per_edge = 2 * (u64::from(algorithm.radius) + 2);
+        assert!(ledger.messages_per_edge().iter().all(|&c| c == per_edge));
+        assert_eq!(ledger.max_congestion(), 2);
+        assert_eq!(ledger.total_bytes(), 4 * ledger.total_messages());
     }
 
     #[test]

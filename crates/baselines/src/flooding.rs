@@ -6,10 +6,17 @@
 //! baseline here measures it exactly (it only forwards *new* tokens, so the
 //! measured count is a lower bound on what any naive per-round flooding
 //! would send).
+//!
+//! The run is metered through the workspace-wide
+//! [`MessageLedger`] (via the shared
+//! flooding engine of `freelunch-core`), so its per-edge, per-round and
+//! byte-level numbers are directly comparable with the schemes' — see
+//! `docs/METRICS.md` for the contract.
 
 use crate::error::{BaselineError, BaselineResult};
 use freelunch_core::reduction::tlocal::{flood_on_subgraph, BroadcastOutcome};
 use freelunch_graph::MultiGraph;
+use freelunch_runtime::MessageLedger;
 use serde::{Deserialize, Serialize};
 
 /// Summary of a direct-flooding run.
@@ -19,6 +26,14 @@ pub struct FloodingOutcome {
     pub broadcast: BroadcastOutcome,
     /// The worst-case message bound of naive flooding: `2·t·|E|`.
     pub naive_bound: u64,
+}
+
+impl FloodingOutcome {
+    /// The per-edge / per-round message ledger of the flood — the same meter
+    /// the schemes report through.
+    pub fn ledger(&self) -> &MessageLedger {
+        &self.broadcast.ledger
+    }
 }
 
 /// Solves the `t`-local broadcast by flooding directly on `G` for `t`

@@ -13,11 +13,17 @@
 //! the `t`-local broadcast specification is met, so the measured round count
 //! reflects the real behaviour of the process on the given topology rather
 //! than the worst-case formula.
+//!
+//! Traffic is metered through the workspace-wide
+//! [`MessageLedger`]: each push–pull
+//! exchange charges two messages on the chosen edge, each sized as the full
+//! knowledge bitset the endpoints swap (`⌈n/64⌉ × 8` bytes — gossip bundles
+//! are big, which the byte view makes visible). See `docs/METRICS.md`.
 
 use crate::error::{BaselineError, BaselineResult};
 use freelunch_graph::traversal::ball;
 use freelunch_graph::MultiGraph;
-use freelunch_runtime::CostReport;
+use freelunch_runtime::{edge_slot_count, CostReport, MessageLedger};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -50,6 +56,10 @@ pub struct GossipOutcome {
     /// The paper's round-complexity formula for gossip-based schemes:
     /// `t·log₂ n + log₂² n`.
     pub round_formula: f64,
+    /// Per-edge / per-round message and byte accounting — the same meter
+    /// every other execution path reports through. `ledger.summary()`
+    /// always equals [`GossipOutcome::cost`].
+    pub ledger: MessageLedger,
 }
 
 impl GossipBroadcast {
@@ -98,13 +108,17 @@ impl GossipBroadcast {
             }
         }
 
+        // The full-knowledge bitset each endpoint ships in an exchange.
+        let exchange_bytes = 8 * words as u64;
+        let mut ledger = MessageLedger::new(edge_slot_count(graph.edge_ids()));
         let mut rounds = 0u64;
-        let mut messages = 0u64;
         while missing_total > 0 && rounds < u64::from(self.max_rounds) {
             rounds += 1;
+            ledger.start_round();
             // Each node picks one random incident edge and exchanges full
             // knowledge with the neighbor (push-pull: 2 messages per node
-            // with at least one incident edge).
+            // with at least one incident edge). Nodes are scanned in
+            // ascending order, so the ledger accumulation is canonical.
             let mut exchanges: Vec<(usize, usize)> = Vec::with_capacity(n);
             for v in graph.nodes() {
                 let incident = graph.incident_edges(v);
@@ -113,7 +127,8 @@ impl GossipBroadcast {
                 }
                 let pick = incident[rng.gen_range(0..incident.len())];
                 exchanges.push((v.index(), pick.neighbor.index()));
-                messages += 2;
+                ledger.record_edge(pick.edge, exchange_bytes);
+                ledger.record_edge(pick.edge, exchange_bytes);
             }
             for (a, b) in exchanges {
                 for w in 0..words {
@@ -133,9 +148,13 @@ impl GossipBroadcast {
 
         let nf = (n.max(2)) as f64;
         Ok(GossipOutcome {
-            cost: CostReport { rounds, messages },
+            cost: CostReport {
+                rounds,
+                messages: ledger.total_messages(),
+            },
             completed: missing_total == 0,
             round_formula: f64::from(t) * nf.log2() + nf.log2().powi(2),
+            ledger,
         })
     }
 }
@@ -182,6 +201,26 @@ mod tests {
         let outcome = gossip.run(&graph, 3, 1).unwrap();
         assert!(!outcome.completed);
         assert_eq!(outcome.cost.rounds, 1);
+    }
+
+    #[test]
+    fn ledger_agrees_with_cost_and_charges_bitset_bytes() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(70, 5), 0.2).unwrap();
+        let outcome = gossip_broadcast(&graph, 2, 11).unwrap();
+        let ledger = &outcome.ledger;
+        assert_eq!(ledger.summary(), outcome.cost);
+        assert_eq!(
+            ledger.messages_per_edge().iter().sum::<u64>(),
+            outcome.cost.messages
+        );
+        // Every message carries the full ⌈n/64⌉-word bitset.
+        let words = graph.node_count().div_ceil(64) as u64;
+        assert_eq!(ledger.total_bytes(), outcome.cost.messages * 8 * words);
+        // A push–pull exchange puts 2 messages on one edge, and an edge can
+        // be picked by both endpoints: congestion is between 2 and 4.
+        assert!(ledger.max_congestion() >= 2 && ledger.max_congestion() <= 4);
+        // Slot 0 (initialization) is silent for the emulated process.
+        assert_eq!(ledger.messages_per_round()[0], 0);
     }
 
     #[test]

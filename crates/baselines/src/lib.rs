@@ -18,6 +18,15 @@
 //! [`SpannerAlgorithm`](freelunch_core::spanner_api::SpannerAlgorithm) so
 //! they can be swapped into the message-reduction schemes and compared by
 //! the experiment harness.
+//!
+//! Every baseline meters its traffic through the workspace-wide
+//! [`MessageLedger`](freelunch_runtime::metrics::MessageLedger) — the same per-edge /
+//! per-round / per-byte meter the runtime engine and the reduction schemes
+//! report through — so baseline-vs-scheme comparisons never mix accounting
+//! conventions (the exception is [`greedy`], which is centralized and has no
+//! per-edge message pattern to meter; its modelled aggregate cost is
+//! documented in its module). The contract is specified in
+//! `docs/METRICS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,6 +13,9 @@
 //! * [`reduction`] — `t`-local broadcast over a spanner, the single-stage
 //!   and two-stage message-reduction schemes, and the machinery for
 //!   simulating arbitrary LOCAL algorithms with `o(m)` messages;
+//! * [`ledger`] — the phase-attributed cost ledger: spanner construction
+//!   vs. simulation vs. direct execution, with measured free-lunch ratios
+//!   (the contract is documented in `docs/METRICS.md`);
 //! * [`params`] — the `(k, h, c)` parameter space of Theorem 2.
 //!
 //! # Examples
@@ -39,16 +42,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod ledger;
 pub mod params;
 pub mod reduction;
 pub mod sampler;
 pub mod spanner_api;
 
 pub use error::{CoreError, CoreResult};
+pub use ledger::{CostPhase, Ledger, LedgerEntry};
 pub use params::{ConstantPolicy, FallbackPolicy, SamplerParams};
 pub use sampler::{Sampler, SamplerOutcome};
 pub use spanner_api::{SpannerAlgorithm, SpannerResult};

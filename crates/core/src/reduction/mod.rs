@@ -19,6 +19,11 @@
 //!   (given as a [`NodeProgram`](freelunch_runtime::NodeProgram)) together
 //!   with a correctness check that the `t`-ball information delivered by the
 //!   broadcast indeed determines every node's output.
+//!
+//! Every path meters its traffic through the workspace-wide
+//! [`MessageLedger`](freelunch_runtime::metrics::MessageLedger), and each report type
+//! exposes a phase-attributed [`Ledger`](crate::ledger::Ledger) with the
+//! measured free-lunch ratio — see `docs/METRICS.md` for the contract.
 
 pub mod scheme;
 pub mod simulate;

@@ -159,6 +159,13 @@ impl SchemeReport {
     pub fn naive_message_bound(&self) -> u64 {
         2 * u64::from(self.t) * self.edges as u64
     }
+
+    /// Phase-attributed ledger of this run, measured against `direct` (a
+    /// measured direct execution, or the naive `2·t·|E|` bound as a
+    /// [`CostReport`]). See [`crate::ledger`] for the derived ratios.
+    pub fn ledger(&self, direct: CostReport) -> crate::ledger::Ledger {
+        crate::ledger::Ledger::from_scheme(self, direct)
+    }
 }
 
 #[cfg(test)]

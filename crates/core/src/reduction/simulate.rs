@@ -69,6 +69,14 @@ impl SimulationReport {
     pub fn outputs_match(&self) -> bool {
         self.mismatches == 0
     }
+
+    /// Phase-attributed ledger of this simulation: spanner construction and
+    /// broadcast on the scheme side, the measured direct execution as the
+    /// reference. `ledger().free_lunch_ratio()` equals
+    /// [`SimulationReport::message_savings`].
+    pub fn ledger(&self) -> crate::ledger::Ledger {
+        crate::ledger::Ledger::from_simulation(self)
+    }
 }
 
 /// Simulates the LOCAL algorithm produced by `factory` (running for `t`

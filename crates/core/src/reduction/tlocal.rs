@@ -12,8 +12,13 @@
 use crate::error::{CoreError, CoreResult};
 use freelunch_graph::traversal::ball;
 use freelunch_graph::{EdgeId, MultiGraph, NodeId};
-use freelunch_runtime::CostReport;
+use freelunch_runtime::{edge_slot_count, CostReport, MessageLedger};
 use serde::{Deserialize, Serialize};
+
+/// Wire size charged per token in a bundled flooding message (tokens are
+/// node IDs, serialized as `u32`). See `docs/METRICS.md` for the sizing
+/// rules.
+pub const TOKEN_BYTES: u64 = 4;
 
 /// A dense `n × n` bit matrix: row `v` records which tokens node `v` knows.
 #[derive(Debug, Clone)]
@@ -61,6 +66,11 @@ pub struct BroadcastOutcome {
     pub tokens_received: Vec<usize>,
     /// Number of edges (with multiplicity) of the flooding subgraph.
     pub subgraph_edges: usize,
+    /// Per-edge / per-round message and byte accounting of the flooding —
+    /// the same meter the synchronous runtime reports through, so baseline
+    /// and scheme numbers are directly comparable. `ledger.summary()`
+    /// always equals [`BroadcastOutcome::cost`].
+    pub ledger: MessageLedger,
     #[serde(skip)]
     known: Option<KnownTokens>,
 }
@@ -131,17 +141,23 @@ pub fn flood_on_subgraph(
         fresh_v.push(v as u32);
     }
 
-    let mut messages = 0u64;
+    // The emulated flood reports through the same per-edge/per-round meter
+    // as the synchronous runtime. Nodes are scanned in ascending order every
+    // round, so the accumulation order is canonical by construction.
+    let mut ledger = MessageLedger::new(edge_slot_count(subgraph.edge_ids()));
     for _round in 0..radius {
+        ledger.start_round();
         let mut next_fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (v, fresh_v) in fresh.iter().enumerate() {
             if fresh_v.is_empty() {
                 continue;
             }
             let incident = subgraph.incident_edges(NodeId::from_usize(v));
-            // One bundled message per incident subgraph edge.
-            messages += incident.len() as u64;
+            // One bundled message per incident subgraph edge, sized as the
+            // number of bundled tokens.
+            let bundle_bytes = TOKEN_BYTES * fresh_v.len() as u64;
             for ie in incident {
+                ledger.record_edge(ie.edge, bundle_bytes);
                 let u = ie.neighbor.index();
                 for &token in fresh_v {
                     if known.set(u, token as usize) {
@@ -155,10 +171,7 @@ pub fn flood_on_subgraph(
 
     let tokens_received = (0..n).map(|v| known.count_row(v)).collect();
     Ok(BroadcastOutcome {
-        cost: CostReport {
-            rounds: u64::from(radius),
-            messages,
-        },
+        cost: ledger.summary(),
         radius,
         tokens_received,
         subgraph_edges: subgraph.edge_count(),
@@ -166,6 +179,7 @@ pub fn flood_on_subgraph(
             words_per_row: known.words_per_row,
             data: known.data,
         }),
+        ledger,
     })
 }
 
@@ -245,6 +259,30 @@ mod tests {
         assert!(t_local_broadcast(&graph, graph.edge_ids(), 1, 0).is_err());
         assert!(flood_on_subgraph(&MultiGraph::new(0), std::iter::empty(), 1).is_err());
         assert!(flood_on_subgraph(&graph, [EdgeId::new(77)], 1).is_err());
+    }
+
+    #[test]
+    fn ledger_agrees_with_cost_and_sizes_bundles() {
+        let graph = cycle_graph(&GeneratorConfig::new(10, 0)).unwrap();
+        let outcome = t_local_broadcast(&graph, graph.edge_ids(), 2, 1).unwrap();
+        let ledger = &outcome.ledger;
+        assert_eq!(ledger.summary(), outcome.cost);
+        assert_eq!(
+            ledger.messages_per_edge().iter().sum::<u64>(),
+            outcome.cost.messages
+        );
+        // Round 1 bundles hold exactly one token (the node's own), so bytes
+        // in slot 1 equal messages × TOKEN_BYTES.
+        assert_eq!(
+            ledger.bytes_per_round()[1],
+            ledger.messages_per_round()[1] * TOKEN_BYTES
+        );
+        // On the cycle every edge carries one message per direction per
+        // active round: congestion 2, and 4 messages per edge in total.
+        assert_eq!(ledger.max_congestion(), 2);
+        assert!(ledger.messages_per_edge().iter().all(|&c| c == 4));
+        // Slot 0 (initialization) is always silent for the emulated flood.
+        assert_eq!(ledger.messages_per_round()[0], 0);
     }
 
     #[test]

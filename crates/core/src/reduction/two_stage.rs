@@ -89,6 +89,7 @@ impl<S: SpannerAlgorithm> TwoStageScheme<S> {
         let stage3 = flood_on_subgraph(graph, second.edges.iter().copied(), radius)?;
 
         let total_cost = stage1.cost + stage2_sim.cost + stage3.cost;
+        let stage3_ledger = stage3.ledger;
         Ok(TwoStageReport {
             gamma: self.gamma,
             t,
@@ -103,6 +104,7 @@ impl<S: SpannerAlgorithm> TwoStageScheme<S> {
             stage3_cost: stage3.cost,
             total_cost,
             stage3_radius: radius,
+            stage3_ledger,
             second_stage: second,
         })
     }
@@ -139,8 +141,21 @@ pub struct TwoStageReport {
     pub total_cost: CostReport,
     /// Radius of the final flooding (`α·t + β` of the stage-2 spanner).
     pub stage3_radius: u32,
+    /// Per-edge / per-round ledger of the final flooding stage (the stage
+    /// whose congestion the scheme's `O(t)`-round claim hinges on).
+    pub stage3_ledger: freelunch_runtime::MessageLedger,
     /// The full second-stage result (edge set included) for downstream reuse.
     pub second_stage: SpannerResult,
+}
+
+impl TwoStageReport {
+    /// Phase-attributed ledger of this run, measured against `direct` (a
+    /// measured direct execution, or a naive bound as a [`CostReport`]).
+    /// Stage 1 is charged as spanner construction, stage 2 as second-stage
+    /// simulation, stage 3 as broadcast.
+    pub fn ledger(&self, direct: CostReport) -> crate::ledger::Ledger {
+        crate::ledger::Ledger::from_two_stage(self, direct)
+    }
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
-use crate::metrics::{CostReport, ExecutionMetrics};
+use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
 use crate::trace::{Trace, TraceEvent};
 use freelunch_graph::{CsrGraph, EdgeId, MultiGraph, NodeId};
@@ -187,16 +187,22 @@ pub struct Network<P: NodeProgram> {
     halted: Vec<bool>,
     pending: Vec<Vec<Envelope<P::Message>>>,
     metrics: ExecutionMetrics,
+    ledger: MessageLedger,
     trace: Trace,
     round: u32,
     initialized: bool,
 }
 
 /// What one node produced during the execute phase of a round: its halt
-/// flag and its outbox, dispatched at the round barrier in node order.
+/// flag, its outbox, and the payload byte size of each outgoing message.
+/// Byte sizing ([`NodeProgram::payload_bytes`]) runs on the shard worker
+/// threads — this is the per-shard portion of the ledger accounting — and
+/// the outcomes are then merged at the round barrier in ascending node
+/// order, so the ledger is bit-identical across shard counts.
 struct NodeOutcome<M> {
     halted: bool,
     outbox: Vec<Outgoing<M>>,
+    outbox_bytes: Vec<u64>,
 }
 
 /// Which program entry point the execute phase calls.
@@ -239,6 +245,7 @@ impl<P: NodeProgram> Network<P> {
             .map(|v| ChaCha8Rng::seed_from_u64(node_seed(config.seed, v)))
             .collect();
         let node_count = graph.node_count();
+        let ledger = MessageLedger::new(edge_slot_count(csr.edge_ids()));
         Ok(Network {
             csr,
             config,
@@ -249,6 +256,7 @@ impl<P: NodeProgram> Network<P> {
             halted: vec![false; node_count],
             pending: (0..node_count).map(|_| Vec::new()).collect(),
             metrics: ExecutionMetrics::new(node_count),
+            ledger,
             trace: Trace::with_capacity(config.trace_capacity),
             round: 0,
             initialized: false,
@@ -302,6 +310,14 @@ impl<P: NodeProgram> Network<P> {
         &self.metrics
     }
 
+    /// The message-complexity ledger: per-edge and per-round message counts
+    /// and payload bytes (see `docs/METRICS.md` for the contract). Like
+    /// every other observable, the ledger is bit-identical across shard
+    /// counts at equal seeds.
+    pub fn ledger(&self) -> &MessageLedger {
+        &self.ledger
+    }
+
     /// Round/message summary so far.
     pub fn cost(&self) -> CostReport {
         self.metrics.summary()
@@ -347,9 +363,17 @@ impl<P: NodeProgram> Network<P> {
                 Phase::Init => program.init(&mut ctx),
                 Phase::Round => program.round(&mut ctx, inbox),
             }
+            let outbox = std::mem::take(&mut ctx.outbox);
+            // Size the payloads here, on the shard's worker thread: the
+            // ledger's per-shard accounting that the barrier then merges.
+            let outbox_bytes = outbox
+                .iter()
+                .map(|outgoing| P::payload_bytes(&outgoing.payload))
+                .collect();
             NodeOutcome {
                 halted: ctx.halted,
-                outbox: std::mem::take(&mut ctx.outbox),
+                outbox,
+                outbox_bytes,
             }
         };
 
@@ -413,7 +437,12 @@ impl<P: NodeProgram> Network<P> {
             if outcome.halted {
                 self.halted[index] = true;
             }
-            self.dispatch(NodeId::from_usize(index), outcome.outbox, round)?;
+            self.dispatch(
+                NodeId::from_usize(index),
+                outcome.outbox,
+                outcome.outbox_bytes,
+                round,
+            )?;
         }
         Ok(())
     }
@@ -422,9 +451,10 @@ impl<P: NodeProgram> Network<P> {
         &mut self,
         sender: NodeId,
         outbox: Vec<Outgoing<P::Message>>,
+        outbox_bytes: Vec<u64>,
         round: u32,
     ) -> RuntimeResult<()> {
-        for outgoing in outbox {
+        for (outgoing, payload_bytes) in outbox.into_iter().zip(outbox_bytes) {
             let edge = self
                 .csr
                 .edge(outgoing.edge)
@@ -439,6 +469,7 @@ impl<P: NodeProgram> Network<P> {
             }
             let receiver = edge.other(sender);
             self.metrics.record_send(sender.index());
+            self.ledger.record_edge(edge.id, payload_bytes);
             self.trace.record(TraceEvent {
                 round,
                 from: sender,
@@ -485,6 +516,7 @@ impl<P: NodeProgram> Network<P> {
         self.initialize()?;
         self.round += 1;
         self.metrics.start_round();
+        self.ledger.start_round();
         let inboxes: Vec<Vec<Envelope<P::Message>>> =
             self.pending.iter_mut().map(std::mem::take).collect();
         let round = self.round;
@@ -795,14 +827,18 @@ mod tests {
         }
     }
 
-    fn noisy_run(graph: &MultiGraph, shards: usize) -> (Vec<u64>, ExecutionMetrics, Trace) {
+    fn noisy_run(
+        graph: &MultiGraph,
+        shards: usize,
+    ) -> (Vec<u64>, ExecutionMetrics, Trace, MessageLedger) {
         let config = NetworkConfig::with_seed(99).traced(10_000).sharded(shards);
         let mut network = Network::new(graph, config, |_, _| NoisyGossip { sum: 0 }).unwrap();
         network.run_until_halt(10).unwrap();
         let metrics = network.metrics().clone();
         let trace = network.trace().clone();
+        let ledger = network.ledger().clone();
         let sums = network.into_programs().into_iter().map(|p| p.sum).collect();
-        (sums, metrics, trace)
+        (sums, metrics, trace, ledger)
     }
 
     #[test]
@@ -815,7 +851,58 @@ mod tests {
             assert_eq!(sequential.0, sharded.0, "outputs differ at {shards} shards");
             assert_eq!(sequential.1, sharded.1, "metrics differ at {shards} shards");
             assert_eq!(sequential.2, sharded.2, "traces differ at {shards} shards");
+            assert_eq!(sequential.3, sharded.3, "ledgers differ at {shards} shards");
         }
+    }
+
+    #[test]
+    fn ledger_matches_metrics_and_sizes_payloads() {
+        let graph = cycle(6);
+        let mut network = Network::new(&graph, NetworkConfig::with_seed(4), |node, _| {
+            Flood::new(node)
+        })
+        .unwrap();
+        network.run_until_halt(10).unwrap();
+        let ledger = network.ledger();
+        // The ledger and the per-round metrics count the same messages.
+        assert_eq!(
+            ledger.messages_per_round(),
+            &network.metrics().messages_per_round[..]
+        );
+        assert_eq!(ledger.total_messages(), network.cost().messages);
+        // Every node broadcast exactly once over each of its 2 edges, so each
+        // of the 6 cycle edges carried exactly 2 messages in total.
+        assert_eq!(ledger.messages_per_edge(), &[2u64; 6][..]);
+        assert!(ledger.max_congestion() <= 2);
+        // `Flood` sends `()` payloads: zero bytes under the default sizing.
+        assert_eq!(ledger.total_bytes(), 0);
+    }
+
+    /// A program with an overridden wire size: every message is charged as
+    /// its little-endian byte length.
+    struct SizedBeacon;
+    impl NodeProgram for SizedBeacon {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(7);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u64>, _inbox: &[Envelope<u64>]) {
+            ctx.halt();
+        }
+        fn payload_bytes(message: &u64) -> u64 {
+            u64::from(message.count_ones().max(1)) // custom rule: popcount bytes
+        }
+    }
+
+    #[test]
+    fn payload_bytes_override_is_respected() {
+        let graph = cycle(4);
+        let mut network =
+            Network::new(&graph, NetworkConfig::default(), |_, _| SizedBeacon).unwrap();
+        network.run_until_halt(3).unwrap();
+        // 4 nodes × 2 edges, each message charged popcount(7) = 3 bytes.
+        assert_eq!(network.ledger().total_messages(), 8);
+        assert_eq!(network.ledger().total_bytes(), 24);
     }
 
     #[test]

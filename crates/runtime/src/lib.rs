@@ -17,8 +17,10 @@
 //!   variants are also available for baselines analysed under those models.
 //!
 //! Algorithms are written as [`NodeProgram`]s and executed by a [`Network`],
-//! which reports a [`CostReport`] (rounds + messages) and optional
-//! per-round / per-node metrics and message traces.
+//! which reports a [`CostReport`] (rounds + messages), per-round / per-node
+//! metrics, optional message traces, and a [`MessageLedger`] — per-edge and
+//! per-round message counts with payload byte sizing, the workspace-wide
+//! meter specified in `docs/METRICS.md`.
 //!
 //! The engine can step each round's node programs on multiple worker
 //! threads ([`NetworkConfig::sharded`]); outboxes are merged at a round
@@ -58,7 +60,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
@@ -71,6 +73,6 @@ pub mod trace;
 pub use engine::{Network, NetworkConfig};
 pub use error::{RuntimeError, RuntimeResult};
 pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
-pub use metrics::{CostReport, ExecutionMetrics};
+pub use metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
 pub use node::{Context, Envelope, NodeProgram};
 pub use trace::{Trace, TraceEvent};

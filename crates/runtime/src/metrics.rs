@@ -6,6 +6,7 @@
 //! through the same [`CostReport`] type so experiments compare like with
 //! like.
 
+use freelunch_graph::EdgeId;
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
@@ -132,6 +133,226 @@ impl ExecutionMetrics {
     }
 }
 
+/// Number of dense per-edge slots needed to index every edge of `edges` by
+/// [`EdgeId::index`] (the largest index plus one).
+///
+/// Edge IDs are dense (`0..m`) for every generated graph, but IDs inserted
+/// via `add_edge_with_id` — e.g. the crossing edges surviving cluster
+/// contraction — may be sparse, so per-edge tables are sized by the largest
+/// index actually present rather than by the edge count.
+pub fn edge_slot_count(edges: impl IntoIterator<Item = EdgeId>) -> usize {
+    edges.into_iter().map(|e| e.index() + 1).max().unwrap_or(0)
+}
+
+/// The message-complexity ledger: per-edge and per-round message counts plus
+/// payload byte sizing (a CONGEST-style bandwidth view of the execution).
+///
+/// This is the **single meter** every execution path in the workspace
+/// reports through — the synchronous [`Network`](crate::engine::Network)
+/// engine (sequential and sharded), the emulated flooding of
+/// `freelunch-core`'s `t`-local broadcast, and the baseline constructions —
+/// so baseline-vs-scheme comparisons are always measured the same way. The
+/// exact semantics (what counts as a message, byte-sizing rules, round-slot
+/// conventions) are specified in `docs/METRICS.md`; that document is the
+/// stable contract for the recorded `BENCH_message_ledger.json` data.
+///
+/// Round slots follow the [`ExecutionMetrics`] convention: slot 0 holds
+/// initialization traffic, slot `r ≥ 1` holds the messages *sent* during
+/// round `r`. Accumulation is canonical — entries are recorded in ascending
+/// node order at the engine's round barrier (or in the deterministic
+/// iteration order of the emulated process) — so two ledgers of the same
+/// seeded execution are bit-identical regardless of shard count or thread
+/// scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use freelunch_runtime::metrics::MessageLedger;
+///
+/// let mut ledger = MessageLedger::new(2);
+/// ledger.record(0, 8); // initialization: one 8-byte message on edge 0
+/// ledger.start_round();
+/// ledger.record(0, 8);
+/// ledger.record(0, 8);
+/// ledger.record(1, 4);
+/// assert_eq!(ledger.total_messages(), 4);
+/// assert_eq!(ledger.total_bytes(), 28);
+/// assert_eq!(ledger.messages_per_edge(), &[3, 1]);
+/// assert_eq!(ledger.max_edge_messages_per_round(), &[1, 2]);
+/// assert_eq!(ledger.max_congestion(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageLedger {
+    /// Messages carried by each edge over the whole execution, indexed by
+    /// [`EdgeId::index`].
+    messages_per_edge: Vec<u64>,
+    /// Payload bytes carried by each edge over the whole execution.
+    bytes_per_edge: Vec<u64>,
+    /// Messages sent in each round slot (slot 0 = initialization).
+    messages_per_round: Vec<u64>,
+    /// Payload bytes sent in each round slot.
+    bytes_per_round: Vec<u64>,
+    /// Congestion per round slot: the maximum number of messages carried by
+    /// any single edge within that slot.
+    max_edge_messages_per_round: Vec<u64>,
+    /// Scratch: per-edge counts within the current round slot only. Not part
+    /// of the serialized contract.
+    #[serde(skip)]
+    round_edge_counts: Vec<u64>,
+    /// Scratch: edges touched in the current round slot (reset lazily so a
+    /// round costs `O(messages)`, never `O(m)`). Not part of the serialized
+    /// contract.
+    #[serde(skip)]
+    touched: Vec<usize>,
+}
+
+impl Default for MessageLedger {
+    /// An empty ledger with no per-edge slots — unlike the derived default,
+    /// this upholds the "at least one round slot exists" invariant.
+    fn default() -> Self {
+        MessageLedger::new(0)
+    }
+}
+
+impl MessageLedger {
+    /// Creates an empty ledger with `edge_slots` per-edge counters (use
+    /// [`edge_slot_count`] to size it from an edge set) and the
+    /// initialization round slot open.
+    pub fn new(edge_slots: usize) -> Self {
+        MessageLedger {
+            messages_per_edge: vec![0; edge_slots],
+            bytes_per_edge: vec![0; edge_slots],
+            messages_per_round: vec![0],
+            bytes_per_round: vec![0],
+            max_edge_messages_per_round: vec![0],
+            round_edge_counts: vec![0; edge_slots],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Closes the current round slot and opens the next one.
+    pub fn start_round(&mut self) {
+        for &edge in &self.touched {
+            self.round_edge_counts[edge] = 0;
+        }
+        self.touched.clear();
+        self.messages_per_round.push(0);
+        self.bytes_per_round.push(0);
+        self.max_edge_messages_per_round.push(0);
+    }
+
+    /// Records one message of `payload_bytes` bytes crossing the edge with
+    /// dense index `edge_index` in the current round slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_index` is outside the `edge_slots` the ledger was
+    /// created with.
+    pub fn record(&mut self, edge_index: usize, payload_bytes: u64) {
+        self.messages_per_edge[edge_index] += 1;
+        self.bytes_per_edge[edge_index] += payload_bytes;
+        *self
+            .messages_per_round
+            .last_mut()
+            .expect("at least one round slot exists") += 1;
+        *self
+            .bytes_per_round
+            .last_mut()
+            .expect("at least one round slot exists") += payload_bytes;
+        self.round_edge_counts[edge_index] += 1;
+        if self.round_edge_counts[edge_index] == 1 {
+            self.touched.push(edge_index);
+        }
+        let congestion = self
+            .max_edge_messages_per_round
+            .last_mut()
+            .expect("at least one round slot exists");
+        *congestion = (*congestion).max(self.round_edge_counts[edge_index]);
+    }
+
+    /// Records one message on `edge`, the [`EdgeId`]-typed convenience form
+    /// of [`MessageLedger::record`].
+    pub fn record_edge(&mut self, edge: EdgeId, payload_bytes: u64) {
+        self.record(edge.index(), payload_bytes);
+    }
+
+    /// Number of per-edge counter slots.
+    pub fn edge_slots(&self) -> usize {
+        self.messages_per_edge.len()
+    }
+
+    /// Number of rounds executed so far (the initialization slot does not
+    /// count as a round).
+    pub fn rounds(&self) -> u64 {
+        (self.messages_per_round.len() - 1) as u64
+    }
+
+    /// Total messages recorded.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_per_round.iter().sum()
+    }
+
+    /// Total payload bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_round.iter().sum()
+    }
+
+    /// Messages carried by each edge over the whole execution, indexed by
+    /// [`EdgeId::index`].
+    pub fn messages_per_edge(&self) -> &[u64] {
+        &self.messages_per_edge
+    }
+
+    /// Payload bytes carried by each edge over the whole execution.
+    pub fn bytes_per_edge(&self) -> &[u64] {
+        &self.bytes_per_edge
+    }
+
+    /// Messages sent in each round slot (slot 0 = initialization).
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages_per_round
+    }
+
+    /// Payload bytes sent in each round slot.
+    pub fn bytes_per_round(&self) -> &[u64] {
+        &self.bytes_per_round
+    }
+
+    /// Per-round congestion: for each round slot, the maximum number of
+    /// messages carried by any single edge within that slot.
+    pub fn max_edge_messages_per_round(&self) -> &[u64] {
+        &self.max_edge_messages_per_round
+    }
+
+    /// The worst per-round edge congestion over the whole execution.
+    pub fn max_congestion(&self) -> u64 {
+        self.max_edge_messages_per_round
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The edge carrying the most messages over the whole execution, as
+    /// `(edge_index, message_count)`; `None` if nothing was recorded.
+    pub fn busiest_edge(&self) -> Option<(usize, u64)> {
+        self.messages_per_edge
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, count)| count > 0)
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Collapses the ledger into a [`CostReport`].
+    pub fn summary(&self) -> CostReport {
+        CostReport {
+            rounds: self.rounds(),
+            messages: self.total_messages(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +403,80 @@ mod tests {
         assert_eq!(metrics.total_messages(), 0);
         assert_eq!(metrics.max_node_messages(), 0);
         assert_eq!(metrics.summary(), CostReport::zero());
+    }
+
+    #[test]
+    fn edge_slot_count_spans_sparse_ids() {
+        assert_eq!(edge_slot_count(std::iter::empty()), 0);
+        assert_eq!(
+            edge_slot_count([EdgeId::new(0), EdgeId::new(7), EdgeId::new(3)]),
+            8
+        );
+    }
+
+    #[test]
+    fn ledger_accumulates_per_edge_and_per_round() {
+        let mut ledger = MessageLedger::new(3);
+        // Initialization: two messages on edge 0, one on edge 2.
+        ledger.record(0, 10);
+        ledger.record(0, 10);
+        ledger.record_edge(EdgeId::new(2), 4);
+        ledger.start_round();
+        ledger.record(1, 6);
+        ledger.record(1, 6);
+        ledger.record(1, 6);
+
+        assert_eq!(ledger.rounds(), 1);
+        assert_eq!(ledger.edge_slots(), 3);
+        assert_eq!(ledger.total_messages(), 6);
+        assert_eq!(ledger.total_bytes(), 42);
+        assert_eq!(ledger.messages_per_edge(), &[2, 3, 1]);
+        assert_eq!(ledger.bytes_per_edge(), &[20, 18, 4]);
+        assert_eq!(ledger.messages_per_round(), &[3, 3]);
+        assert_eq!(ledger.bytes_per_round(), &[24, 18]);
+        assert_eq!(ledger.max_edge_messages_per_round(), &[2, 3]);
+        assert_eq!(ledger.max_congestion(), 3);
+        assert_eq!(ledger.busiest_edge(), Some((1, 3)));
+        assert_eq!(ledger.summary(), CostReport::new(1, 6));
+    }
+
+    #[test]
+    fn ledger_congestion_resets_each_round() {
+        let mut ledger = MessageLedger::new(1);
+        ledger.start_round();
+        ledger.record(0, 1);
+        ledger.record(0, 1);
+        ledger.start_round();
+        ledger.record(0, 1);
+        assert_eq!(ledger.max_edge_messages_per_round(), &[0, 2, 1]);
+        assert_eq!(ledger.messages_per_edge(), &[3]);
+    }
+
+    #[test]
+    fn busiest_edge_prefers_the_lowest_index_on_ties() {
+        let mut ledger = MessageLedger::new(4);
+        ledger.record(3, 1);
+        ledger.record(1, 1);
+        assert_eq!(ledger.busiest_edge(), Some((1, 1)));
+        assert_eq!(MessageLedger::new(2).busiest_edge(), None);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let ledger = MessageLedger::new(0);
+        assert_eq!(ledger.rounds(), 0);
+        assert_eq!(ledger.total_messages(), 0);
+        assert_eq!(ledger.total_bytes(), 0);
+        assert_eq!(ledger.max_congestion(), 0);
+        assert_eq!(ledger.summary(), CostReport::zero());
+    }
+
+    #[test]
+    fn default_ledger_upholds_the_round_slot_invariant() {
+        let mut ledger = MessageLedger::default();
+        assert_eq!(ledger, MessageLedger::new(0));
+        assert_eq!(ledger.rounds(), 0);
+        ledger.start_round();
+        assert_eq!(ledger.rounds(), 1);
     }
 }

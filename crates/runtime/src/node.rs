@@ -178,6 +178,22 @@ pub trait NodeProgram: Send {
 
     /// Called once per round with the messages delivered this round.
     fn round(&mut self, ctx: &mut Context<'_, Self::Message>, inbox: &[Envelope<Self::Message>]);
+
+    /// CONGEST-style wire size of one message payload in bytes, used by the
+    /// engine's bandwidth accounting
+    /// ([`MessageLedger`](crate::metrics::MessageLedger)).
+    ///
+    /// The default charges the in-memory size of the message type
+    /// (`size_of::<Self::Message>()`), which is exact for fixed-size
+    /// payloads. Programs whose messages carry heap data (token bundles,
+    /// strings, …) should override this to charge the true serialized size —
+    /// the sizing rules are specified in `docs/METRICS.md`. Sizing runs on
+    /// the shard worker threads during the execute phase, so an override
+    /// must depend only on `message`.
+    fn payload_bytes(message: &Self::Message) -> u64 {
+        let _ = message;
+        std::mem::size_of::<Self::Message>() as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Determinism matrix: every LOCAL algorithm in `algorithms/` runs on three
 //! workload families with shard counts 1, 2 and 8, and every observable of
-//! the execution — program outputs, per-round/per-node message metrics, and
-//! the full message trace — must be bit-identical to the sequential
-//! (1-shard) engine. The `baselines/` constructions are covered by replay
+//! the execution — program outputs, per-round/per-node message metrics, the
+//! per-edge/per-round message ledger, and the full message trace — must be
+//! bit-identical to the sequential (1-shard) engine. The `baselines/` constructions are covered by replay
 //! determinism: they drive their own deterministic processes (they do not
 //! run on the `Network`), so the property to pin down is that equal seeds
 //! reproduce equal outcomes regardless of what the engine is doing.
@@ -18,7 +18,7 @@ use freelunch::graph::generators::{
 };
 use freelunch::graph::{MultiGraph, NodeId};
 use freelunch::runtime::{
-    ExecutionMetrics, InitialKnowledge, Network, NetworkConfig, NodeProgram, Trace,
+    ExecutionMetrics, InitialKnowledge, MessageLedger, Network, NetworkConfig, NodeProgram, Trace,
 };
 use std::fmt::Debug;
 
@@ -56,7 +56,7 @@ where
     P: NodeProgram,
     O: PartialEq + Debug,
 {
-    let mut reference: Option<(Vec<O>, ExecutionMetrics, Trace)> = None;
+    let mut reference: Option<(Vec<O>, ExecutionMetrics, Trace, MessageLedger)> = None;
     for shards in SHARD_COUNTS {
         let config = NetworkConfig::with_seed(seed)
             .traced(100_000)
@@ -68,9 +68,10 @@ where
         let outputs: Vec<O> = network.programs().iter().map(&extract).collect();
         let metrics = network.metrics().clone();
         let trace = network.trace().clone();
+        let ledger = network.ledger().clone();
         match &reference {
-            None => reference = Some((outputs, metrics, trace)),
-            Some((ref_outputs, ref_metrics, ref_trace)) => {
+            None => reference = Some((outputs, metrics, trace, ledger)),
+            Some((ref_outputs, ref_metrics, ref_trace, ref_ledger)) => {
                 assert_eq!(
                     ref_outputs, &outputs,
                     "{label}: outputs differ at {shards} shards"
@@ -82,6 +83,10 @@ where
                 assert_eq!(
                     ref_trace, &trace,
                     "{label}: traces differ at {shards} shards"
+                );
+                assert_eq!(
+                    ref_ledger, &ledger,
+                    "{label}: message ledgers differ at {shards} shards"
                 );
             }
         }

@@ -1,0 +1,106 @@
+//! Intra-repo link checker for the documentation: every relative markdown
+//! link in `README.md`, `ARCHITECTURE.md` and `docs/` must point at a file
+//! (or directory) that actually exists, so the docs cannot silently rot as
+//! the tree moves. CI runs this test in its docs job step.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts the targets of inline markdown links (`[text](target)`) from
+/// `source`. Deliberately simple: scans for `](…)` pairs, which covers
+/// every link style used in this repository.
+fn link_targets(source: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while let Some(offset) = source[i..].find("](") {
+        let start = i + offset + 2;
+        let Some(len) = source[start..].find(')') else {
+            break;
+        };
+        targets.push(source[start..start + len].to_string());
+        i = start + len;
+    }
+    targets
+}
+
+/// Returns the broken relative links of one markdown file as
+/// `(target, resolved_path)` pairs.
+fn broken_links(file: &Path, repo_root: &Path) -> Vec<(String, PathBuf)> {
+    let source = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+    let base = file.parent().unwrap_or(repo_root);
+    let mut broken = Vec::new();
+    for target in link_targets(&source) {
+        // External links, mail addresses and intra-document anchors are out
+        // of scope; so are rustdoc-style links without a path component.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        // Drop a trailing `#section` anchor before resolving.
+        let path_part = target.split('#').next().unwrap_or(&target);
+        if path_part.is_empty() {
+            continue;
+        }
+        let resolved = base.join(path_part);
+        if !resolved.exists() {
+            broken.push((target, resolved));
+        }
+    }
+    broken
+}
+
+#[test]
+fn intra_repo_doc_links_resolve() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![
+        repo_root.join("README.md"),
+        repo_root.join("ARCHITECTURE.md"),
+    ];
+    let docs_dir = repo_root.join("docs");
+    assert!(
+        docs_dir.is_dir(),
+        "docs/ directory is missing — METRICS.md lives there"
+    );
+    for entry in std::fs::read_dir(&docs_dir).expect("docs/ is readable") {
+        let path = entry.expect("docs/ entry is readable").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+
+    let mut failures = Vec::new();
+    for file in &files {
+        for (target, resolved) in broken_links(file, &repo_root) {
+            failures.push(format!(
+                "{}: link `{}` resolves to missing {}",
+                file.display(),
+                target,
+                resolved.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "broken intra-repo documentation links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_the_markdown_shapes_in_use() {
+    let sample = "See [a](docs/METRICS.md), [b](ARCHITECTURE.md#crate-map) and \
+                  [c](https://example.com/x) plus [anchor](#section).";
+    assert_eq!(
+        link_targets(sample),
+        vec![
+            "docs/METRICS.md".to_string(),
+            "ARCHITECTURE.md#crate-map".to_string(),
+            "https://example.com/x".to_string(),
+            "#section".to_string(),
+        ]
+    );
+}

@@ -1,0 +1,191 @@
+//! Exact message-ledger accounting on hand-computed graphs, and the
+//! cross-shard ledger-identity guarantee.
+//!
+//! The first half pins the flooding and gossip baselines to counts derived
+//! by hand on a path, a star and `K4` — if any accounting rule of
+//! `docs/METRICS.md` drifts (what counts as a message, byte sizing, round
+//! slots, per-edge attribution), these tests fail with the exact number
+//! that changed. The second half asserts the engine-level guarantee the
+//! ledger inherits from PR 2: totals, per-edge vectors and congestion are
+//! bit-identical across shard counts {1, 2, 8} at equal seeds.
+
+use freelunch::algorithms::BallGathering;
+use freelunch::baselines::{direct_flooding, gossip_broadcast};
+use freelunch::core::reduction::tlocal::TOKEN_BYTES;
+use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::{MultiGraph, NodeId};
+use freelunch::runtime::{MessageLedger, Network, NetworkConfig};
+
+/// Path 0 − 1 − 2 − 3 (edges e0, e1, e2).
+fn path4() -> MultiGraph {
+    let mut g = MultiGraph::new(4);
+    for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+        g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+    }
+    g
+}
+
+/// Star with center 0 and leaves 1, 2, 3 (edges e0, e1, e2).
+fn star4() -> MultiGraph {
+    let mut g = MultiGraph::new(4);
+    for v in 1..4 {
+        g.add_edge(NodeId::new(0), NodeId::new(v)).unwrap();
+    }
+    g
+}
+
+/// The complete graph on 4 nodes (6 edges).
+fn k4() -> MultiGraph {
+    let mut g = MultiGraph::new(4);
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+        }
+    }
+    g
+}
+
+#[test]
+fn flooding_on_the_path_counts_exactly() {
+    let graph = path4();
+    // Every node stays active through round 3 on a path of 4 (each round
+    // delivers at least one unseen token to every node), and the degree sum
+    // is 6, so each radius-r flood costs exactly 6r messages.
+    for t in 1..=3u32 {
+        let outcome = direct_flooding(&graph, t).unwrap();
+        assert_eq!(outcome.broadcast.cost.messages, 6 * u64::from(t), "t={t}");
+        assert_eq!(outcome.broadcast.cost.rounds, u64::from(t));
+        // Each edge carries one message per direction per round.
+        let per_edge = 2 * u64::from(t);
+        assert_eq!(
+            outcome.ledger().messages_per_edge(),
+            &[per_edge, per_edge, per_edge][..],
+            "t={t}"
+        );
+        assert_eq!(outcome.ledger().max_congestion(), 2);
+        assert_eq!(outcome.ledger().summary(), outcome.broadcast.cost);
+    }
+    // Round 1 bundles hold exactly one token each: 6 × TOKEN_BYTES bytes.
+    let outcome = direct_flooding(&graph, 1).unwrap();
+    assert_eq!(outcome.ledger().bytes_per_round()[1], 6 * TOKEN_BYTES);
+    assert_eq!(outcome.ledger().messages_per_round(), &[0, 6][..]);
+}
+
+#[test]
+fn flooding_on_the_star_goes_quiet_at_the_center() {
+    let graph = star4();
+    // Round 1: center sends 3, each leaf 1 → 6. Round 2: everyone learned
+    // something new in round 1 → 6 more. Round 3: the center learned
+    // nothing new in round 2 (the leaves' fresh token was its own ID), so
+    // only the 3 leaves send → 3.
+    let expected = [(1u32, 6u64), (2, 12), (3, 15)];
+    for (t, messages) in expected {
+        let outcome = direct_flooding(&graph, t).unwrap();
+        assert_eq!(outcome.broadcast.cost.messages, messages, "t={t}");
+        assert_eq!(outcome.broadcast.coverage_violations(&graph, t).unwrap(), 0);
+    }
+    // At radius 3 each star edge carried 2+2+1 = 5 messages.
+    let outcome = direct_flooding(&graph, 3).unwrap();
+    assert_eq!(outcome.ledger().messages_per_edge(), &[5, 5, 5][..]);
+    assert_eq!(outcome.ledger().messages_per_round(), &[0, 6, 6, 3][..]);
+    assert_eq!(
+        outcome.ledger().max_edge_messages_per_round(),
+        &[0, 2, 2, 1][..]
+    );
+}
+
+#[test]
+fn flooding_on_k4_saturates_after_one_round() {
+    let graph = k4();
+    // Round 1: 4 nodes × 3 edges = 12 messages, after which everyone knows
+    // every token. Round 2: everyone was fresh in round 1 → 12 more.
+    // Round 3: nobody learned anything in round 2 → silence.
+    let expected = [(1u32, 12u64), (2, 24), (3, 24)];
+    for (t, messages) in expected {
+        let outcome = direct_flooding(&graph, t).unwrap();
+        assert_eq!(outcome.broadcast.cost.messages, messages, "t={t}");
+    }
+    let outcome = direct_flooding(&graph, 3).unwrap();
+    assert_eq!(outcome.ledger().messages_per_round(), &[0, 12, 12, 0][..]);
+    assert_eq!(outcome.ledger().messages_per_edge(), &[4u64; 6][..]);
+    assert_eq!(outcome.ledger().max_congestion(), 2);
+    // Bytes: round 1 bundles one token (12 × 4 bytes); round 2 bundles the
+    // three tokens learned in round 1 (12 × 12 bytes).
+    assert_eq!(outcome.ledger().bytes_per_round()[1], 12 * TOKEN_BYTES);
+    assert_eq!(outcome.ledger().bytes_per_round()[2], 12 * 3 * TOKEN_BYTES);
+}
+
+#[test]
+fn gossip_charges_two_messages_per_node_per_round() {
+    // Push–pull sends exactly 2 messages per non-isolated node per round,
+    // whatever edges the RNG picks — so on these 4-node graphs the total is
+    // exactly 8 × rounds, and every byte carries the ⌈n/64⌉-word bitset.
+    for (label, graph) in [("path", path4()), ("star", star4()), ("k4", k4())] {
+        let outcome = gossip_broadcast(&graph, 1, 7).unwrap();
+        assert!(outcome.completed, "{label}");
+        assert_eq!(
+            outcome.cost.messages,
+            2 * 4 * outcome.cost.rounds,
+            "{label}"
+        );
+        assert_eq!(outcome.ledger.summary(), outcome.cost, "{label}");
+        assert_eq!(
+            outcome.ledger.messages_per_edge().iter().sum::<u64>(),
+            outcome.cost.messages,
+            "{label}"
+        );
+        assert_eq!(outcome.ledger.total_bytes(), 8 * outcome.cost.messages);
+        // Per round: 8 messages across ≤ 3–6 edges, so some edge carries at
+        // least 2 and (two pickers per edge) at most 4.
+        assert!(outcome.ledger.max_congestion() >= 2, "{label}");
+        assert!(outcome.ledger.max_congestion() <= 4, "{label}");
+    }
+}
+
+#[test]
+fn gossip_on_the_star_funnels_through_the_center() {
+    // Leaves have exactly one incident edge, so every leaf exchange lands
+    // on a center edge: all 8 per-round messages cross the 3 star edges.
+    let outcome = gossip_broadcast(&star4(), 1, 3).unwrap();
+    assert!(outcome.completed);
+    let total: u64 = outcome.ledger.messages_per_edge().iter().sum();
+    assert_eq!(total, outcome.cost.messages);
+    assert!(outcome
+        .ledger
+        .messages_per_edge()
+        .iter()
+        .all(|&c| c >= 2 * outcome.cost.rounds));
+}
+
+/// Runs `BallGathering` for two rounds and returns the engine's ledger.
+fn ball_gathering_ledger(graph: &MultiGraph, shards: usize, seed: u64) -> MessageLedger {
+    let config = NetworkConfig::with_seed(seed).sharded(shards);
+    let mut network = Network::new(graph, config, |node, _| BallGathering::new(node, 2)).unwrap();
+    network.run_rounds(2).unwrap();
+    network.ledger().clone()
+}
+
+#[test]
+fn ledger_is_bit_identical_across_shard_counts() {
+    let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(96, 17), 6.0).unwrap();
+    for seed in [1u64, 42] {
+        let reference = ball_gathering_ledger(&graph, 1, seed);
+        assert!(reference.total_messages() > 0);
+        for shards in [2usize, 8] {
+            let sharded = ball_gathering_ledger(&graph, shards, seed);
+            // Full structural equality: totals, per-edge and per-round
+            // vectors, byte counts and congestion all match bit for bit.
+            assert_eq!(reference, sharded, "seed={seed} shards={shards}");
+            assert_eq!(
+                reference.total_messages(),
+                sharded.total_messages(),
+                "seed={seed} shards={shards}"
+            );
+            assert_eq!(
+                reference.total_bytes(),
+                sharded.total_bytes(),
+                "seed={seed} shards={shards}"
+            );
+        }
+    }
+}
