@@ -6,8 +6,22 @@
 //! asserts that rounds, message counts and per-round metrics are
 //! bit-identical across shard counts (the engine's core guarantee), and
 //! records wall-clock time and the speedup over the 1-shard execution —
-//! honest numbers for whatever hardware the sweep ran on (the speedup
-//! ceiling is the machine's usable core count).
+//! honest numbers for whatever hardware the sweep ran on: the speedup
+//! ceiling is the machine's usable core count (recorded in the `cores`
+//! column; on a single usable core the parallel barrier can only cost, not
+//! pay).
+//!
+//! Methodology: every configuration is executed `REPS` times in the same
+//! process and the *minimum* wall time is recorded. The first execution of
+//! a configuration pays one-time costs (page faults on fresh buffers,
+//! allocator growth) that the double-buffered message plane amortizes away
+//! in steady state; the minimum is the stable steady-state figure and is
+//! far less sensitive to neighbor noise on shared machines. Identity across
+//! shard counts is asserted on every repetition, not just the recorded one.
+//! Tracing stays at its default ([`TraceMode::Off`]) — the plane's hot path
+//! — so the numbers measure what production runs pay.
+//!
+//! [`TraceMode::Off`]: freelunch_runtime::TraceMode::Off
 //!
 //! Usage:
 //!
@@ -34,6 +48,9 @@ struct PulseExchange {
 }
 
 const ROUNDS: u32 = 2;
+
+/// Executions per configuration; the recorded wall time is the minimum.
+const REPS: usize = 3;
 
 impl NodeProgram for PulseExchange {
     type Message = u64;
@@ -95,6 +112,21 @@ fn run_once(graph: &MultiGraph, shards: usize) -> RunResult {
     }
 }
 
+/// Runs a configuration `REPS` times, asserts every repetition is
+/// bit-identical, and returns the result carrying the minimum wall time.
+fn run_best_of(graph: &MultiGraph, shards: usize) -> RunResult {
+    let mut best = run_once(graph, shards);
+    for _ in 1..REPS {
+        let next = run_once(graph, shards);
+        assert_eq!(best.digest, next.digest, "nondeterministic repetition");
+        assert_eq!(best.metrics, next.metrics, "nondeterministic repetition");
+        if next.elapsed_s < best.elapsed_s {
+            best.elapsed_s = next.elapsed_s;
+        }
+    }
+    best
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -105,15 +137,19 @@ fn main() {
     } else {
         &[1 << 16, 1 << 18, 1 << 20]
     };
-    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    let shard_counts: &[usize] = &[1, 2, 8];
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
 
     let mut table = ExperimentTable::new(
-        "E-scaling — sharded engine throughput (nodes x shards; identical outputs enforced)",
+        "E-scaling — sharded engine throughput (nodes x shards; min of 3 runs; identical outputs enforced)",
         &[
             "workload",
             "n",
             "m",
             "shards",
+            "cores",
             "rounds",
             "messages",
             "wall s",
@@ -128,7 +164,7 @@ fn main() {
             let m = graph.edge_count() as u64;
             let mut baseline: Option<RunResult> = None;
             for &shards in shard_counts {
-                let result = run_once(&graph, shards);
+                let result = run_best_of(&graph, shards);
                 let (speedup, identical) = match &baseline {
                     None => (1.0, true),
                     Some(reference) => {
@@ -154,6 +190,7 @@ fn main() {
                     cell_u64(n as u64),
                     cell_u64(m),
                     cell_u64(shards as u64),
+                    cell_u64(cores),
                     cell_u64(result.rounds),
                     cell_u64(result.messages),
                     cell_f64(result.elapsed_s),

@@ -383,6 +383,36 @@ impl CsrGraph {
     pub fn incidence_count(&self) -> usize {
         self.incidents.len()
     }
+
+    /// Builds a dense raw-edge-ID → endpoint-pair table: entry `i` holds
+    /// the raw node IDs of the endpoints of the edge with raw ID `i`, or
+    /// `[CsrGraph::NO_ENDPOINT; 2]` if no such edge exists. Sized like the
+    /// per-edge metric tables (largest raw ID + 1), so sparse ID spaces —
+    /// e.g. crossing edges surviving cluster contraction — stay addressable.
+    ///
+    /// This is the one-array-read edge validation used by the runtime's
+    /// send path: `table[edge]` answers existence, incidence, and "who is
+    /// the receiver" in a single dense access.
+    pub fn endpoint_table(&self) -> Vec<[u32; 2]> {
+        let slots = self
+            .edges
+            .iter()
+            .map(|e| e.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut table = vec![[Self::NO_ENDPOINT; 2]; slots];
+        for edge in &self.edges {
+            table[edge.id.index()] = [edge.u.raw(), edge.v.raw()];
+        }
+        table
+    }
+}
+
+impl CsrGraph {
+    /// Sentinel of [`CsrGraph::endpoint_table`] marking an unallocated edge
+    /// slot (no node can carry this raw ID: `NodeId::from_usize` rejects
+    /// it).
+    pub const NO_ENDPOINT: u32 = u32::MAX;
 }
 
 impl MultiGraph {
@@ -507,6 +537,23 @@ mod tests {
         assert_eq!(isolated.degree(n(1)), 0);
         assert!(isolated.incident_edges(n(2)).is_empty());
         assert!(isolated.distinct_neighbors(n(0)).is_empty());
+    }
+
+    #[test]
+    fn endpoint_table_is_dense_and_sentinel_padded() {
+        let frozen = sample().freeze();
+        let table = frozen.endpoint_table();
+        assert_eq!(table.len(), 4);
+        assert_eq!(table[0], [0, 1]);
+        assert_eq!(table[2], [1, 2]); // the parallel edge keeps its own slot
+                                      // Sparse IDs pad the gaps with the sentinel.
+        let mut g = MultiGraph::new(3);
+        g.add_edge_with_id(EdgeId::new(5), n(0), n(1)).unwrap();
+        let table = g.freeze().endpoint_table();
+        assert_eq!(table.len(), 6);
+        assert_eq!(table[5], [0, 1]);
+        assert_eq!(table[0], [CsrGraph::NO_ENDPOINT; 2]);
+        assert!(MultiGraph::new(2).freeze().endpoint_table().is_empty());
     }
 
     #[test]

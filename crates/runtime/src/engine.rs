@@ -6,20 +6,47 @@
 //! incident edge (message size is not bounded), receives the messages sent
 //! to it in that round, and performs arbitrary local computation.
 //!
+//! # The message plane
+//!
+//! Messages live in flat, **double-buffered per-node mailboxes**: the front
+//! buffer holds the inboxes the programs read this round, the back buffer
+//! collects the messages they send. At the start of each round the two are
+//! swapped and the (now stale) back buffer is cleared — never reallocated —
+//! so in steady state a round performs **no per-message allocation**:
+//! outboxes, inboxes and metrics scratch are all reused across rounds.
+//! Sends are resolved when the program makes them ([`Context::send_port`]
+//! reads the receiver straight off the node's packed CSR incidence slice;
+//! [`Context::send`] validates with one dense array read), so the barrier
+//! never touches the graph per message.
+//!
 //! # Sharded parallel execution
 //!
-//! Every round has two phases. The *execute* phase steps each node's
-//! program against its snapshot of delivered messages — nodes are mutually
-//! independent within a round, so the engine partitions them into
-//! [`NetworkConfig::shards`] contiguous shards and steps each shard on its
-//! own worker thread. The *dispatch* phase then merges the per-node
-//! outboxes at a round barrier, always in ascending node order (and, per
-//! node, in send order): the exact order the sequential engine produces.
-//! Because each node also draws from its own seeded
-//! [`ChaCha8Rng`] stream, every observable of an
-//! execution — [`ExecutionMetrics`], [`Trace`], program outputs — is
-//! **bit-identical for every shard count** at equal seeds. Sharding is a
-//! wall-clock knob, never a semantics knob.
+//! Every round has two phases, both parallelized over
+//! [`NetworkConfig::shards`] contiguous node ranges:
+//!
+//! * the *execute* phase steps each node's program against its inbox
+//!   snapshot — nodes are mutually independent within a round, so each
+//!   shard steps its range on its own worker thread;
+//! * the *dispatch* phase delivers at the round barrier with
+//!   **receiver-sharded workers**: a route step buckets the canonical
+//!   node-ordered outboxes by receiver shard, then each worker drains
+//!   exactly the messages destined for its contiguous receiver range,
+//!   accumulating per-edge ledger partials as it goes; the partials are
+//!   merged into the [`MessageLedger`] when the barrier closes. Each
+//!   receiver's mailbox is filled in ascending sender order (and, per
+//!   sender, in send order): the exact order the sequential engine
+//!   produces.
+//!
+//! Because each node also draws from its own seeded [`ChaCha8Rng`] stream,
+//! every observable of an execution — [`ExecutionMetrics`],
+//! [`MessageLedger`], [`Trace`], program outputs — is **bit-identical for
+//! every shard count** at equal seeds. Sharding is a wall-clock knob, never
+//! a semantics knob.
+//!
+//! Per-message trace recording is priced separately: it is off by default
+//! ([`TraceMode::Off`]) and a traced execution ([`NetworkConfig::traced`])
+//! runs the barrier serially so events appear in canonical order — see
+//! [`TraceMode`].
 //!
 //! ```
 //! use freelunch_graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
@@ -56,11 +83,12 @@ use crate::error::{RuntimeError, RuntimeResult};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
 use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
-use crate::trace::{Trace, TraceEvent};
-use freelunch_graph::{CsrGraph, EdgeId, MultiGraph, NodeId};
+use crate::trace::{Trace, TraceEvent, TraceMode};
+use freelunch_graph::{CsrGraph, MultiGraph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Configuration of a synchronous execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,13 +100,25 @@ pub struct NetworkConfig {
     /// Extra slack added to the `log2 n` upper bound the nodes are given
     /// (models the "O(1)-approximate upper bound" of assumption (i)).
     pub log_n_slack: u32,
-    /// Maximum number of message events stored in the trace (0 disables
-    /// tracing; message *counts* are always exact regardless).
+    /// Per-message trace recording ([`TraceMode::Off`] by default; message
+    /// *counts* are always exact regardless). [`TraceMode::Full`] forces
+    /// the round barrier onto its serial path so events are recorded in
+    /// canonical order.
+    ///
+    /// Compatibility: configs serialized before this field existed
+    /// deserialize as `Off` even if `trace_capacity > 0` — tracing is now
+    /// an explicit opt-in, so such configs must also set `trace_mode`
+    /// (or be built via [`NetworkConfig::traced`], which sets both).
+    #[serde(default)]
+    pub trace_mode: TraceMode,
+    /// Maximum number of message events stored in the trace under
+    /// [`TraceMode::Full`] (events beyond the capacity are counted, not
+    /// stored).
     pub trace_capacity: usize,
-    /// Number of worker shards the execute phase of each round is split
-    /// into (1 = sequential). Shard counts above the node count are clamped
-    /// down; 0 is rejected by [`Network::new`]. Every observable of the
-    /// execution is bit-identical for every shard count — see the
+    /// Number of worker shards each round's execute and dispatch phases are
+    /// split into (1 = sequential). Shard counts above the node count are
+    /// clamped down; 0 is rejected by [`Network::new`]. Every observable of
+    /// the execution is bit-identical for every shard count — see the
     /// [module docs](self).
     pub shards: usize,
 }
@@ -89,6 +129,7 @@ impl Default for NetworkConfig {
             knowledge: KnowledgeModel::UniqueEdgeIds,
             seed: 0,
             log_n_slack: 1,
+            trace_mode: TraceMode::Off,
             trace_capacity: 0,
             shards: 1,
         }
@@ -110,15 +151,26 @@ impl NetworkConfig {
         self
     }
 
-    /// Returns a copy that stores up to `capacity` trace events.
+    /// Returns a copy that records message traces ([`TraceMode::Full`]),
+    /// storing up to `capacity` events. Tracing costs per-message time and
+    /// forces the round barrier onto its serial path — see [`TraceMode`].
     pub fn traced(mut self, capacity: usize) -> Self {
+        self.trace_mode = TraceMode::Full;
         self.trace_capacity = capacity;
         self
     }
 
-    /// Returns a copy that executes each round's node programs on `shards`
-    /// worker threads. The execution stays bit-identical to the sequential
-    /// engine (see the [module docs](self)); only wall-clock time changes.
+    /// Returns a copy using the given [`TraceMode`] (with the current
+    /// capacity; [`NetworkConfig::traced`] sets both at once).
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Returns a copy that executes each round's node programs — and the
+    /// round barrier's delivery — on `shards` worker threads. The execution
+    /// stays bit-identical to the sequential engine (see the
+    /// [module docs](self)); only wall-clock time changes.
     pub fn sharded(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
@@ -132,6 +184,34 @@ fn node_seed(seed: u64, node: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Reusable scratch of the parallel dispatch barrier: per-edge message and
+/// byte accumulators shared by the receiver-sharded workers (each message
+/// is counted by exactly one worker; an edge can be touched by at most the
+/// two workers owning its endpoints, hence the atomics) plus one touched
+/// list per worker. A worker appends an edge to its touched list exactly
+/// when its `fetch_add` is the first of the round for that edge, so the
+/// lists partition the touched edge set and the barrier can merge and reset
+/// in `O(edges touched)`, never `O(m)`.
+///
+/// Allocated once, on the first parallel dispatch; cleared — not freed — at
+/// every merge.
+#[derive(Debug)]
+struct DispatchScratch {
+    edge_counts: Vec<AtomicU32>,
+    edge_bytes: Vec<AtomicU64>,
+    touched: Vec<Vec<u32>>,
+}
+
+impl DispatchScratch {
+    fn new(edge_slots: usize, shards: usize) -> Self {
+        DispatchScratch {
+            edge_counts: (0..edge_slots).map(|_| AtomicU32::new(0)).collect(),
+            edge_bytes: (0..edge_slots).map(|_| AtomicU64::new(0)).collect(),
+            touched: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
 /// A synchronous network executing one program instance per node.
@@ -174,35 +254,46 @@ fn node_seed(seed: u64, node: usize) -> u64 {
 #[derive(Debug)]
 pub struct Network<P: NodeProgram> {
     /// Frozen CSR view of the communication graph: packed incidence arrays
-    /// for the setup scans and array-indexed edge lookup for the
-    /// per-message dispatch validation (the hottest lookup in the engine).
-    /// The network never needs the mutable [`MultiGraph`] after
-    /// construction, so this is the only copy it keeps.
+    /// whose per-node slices double as the contexts' port tables. The
+    /// network never needs the mutable [`MultiGraph`] after construction,
+    /// so this is the only copy it keeps.
     csr: CsrGraph,
     config: NetworkConfig,
     knowledge: Vec<InitialKnowledge>,
-    port_edges: Vec<Vec<EdgeId>>,
+    /// Dense raw-edge-ID → endpoints table
+    /// ([`CsrGraph::endpoint_table`]): the single array read that
+    /// validates a [`Context::send`].
+    edge_endpoints: Vec<[u32; 2]>,
     programs: Vec<P>,
     rngs: Vec<ChaCha8Rng>,
     halted: Vec<bool>,
+    /// Front mailbox buffer: the inboxes the programs read this round.
+    inboxes: Vec<Vec<Envelope<P::Message>>>,
+    /// Back mailbox buffer: the messages dispatched this round, delivered
+    /// next round by swapping with `inboxes`. Both buffers (and their
+    /// per-node capacity) are reused for the whole execution.
     pending: Vec<Vec<Envelope<P::Message>>>,
+    /// Per-node outboxes, written by the execute phase and drained by the
+    /// dispatch phase; reused across rounds.
+    outboxes: Vec<Vec<Outgoing<P::Message>>>,
+    /// Bucket exchange of the parallel barrier, row-major:
+    /// `buckets[e * shards + r]` holds the messages nodes of execute shard
+    /// `e` sent to receivers of shard `r`, in canonical (node, send) order.
+    /// Empty until the first parallel dispatch; reused afterwards.
+    buckets: Vec<Vec<Outgoing<P::Message>>>,
+    /// Transposed view of `buckets` during delivery (column-major), so each
+    /// receiver shard's worker can take a contiguous `&mut` slice of its
+    /// column. Only `Vec` headers move between the two layouts.
+    bucket_scratch: Vec<Vec<Outgoing<P::Message>>>,
+    /// Number of messages sent but not yet delivered — maintained at the
+    /// barrier so [`Network::pending_messages`] is `O(1)`.
+    in_flight: usize,
     metrics: ExecutionMetrics,
     ledger: MessageLedger,
+    scratch: Option<DispatchScratch>,
     trace: Trace,
     round: u32,
     initialized: bool,
-}
-
-/// What one node produced during the execute phase of a round: its halt
-/// flag, its outbox, and the payload byte size of each outgoing message.
-/// Byte sizing ([`NodeProgram::payload_bytes`]) runs on the shard worker
-/// threads — this is the per-shard portion of the ledger accounting — and
-/// the outcomes are then merged at the round barrier in ascending node
-/// order, so the ledger is bit-identical across shard counts.
-struct NodeOutcome<M> {
-    halted: bool,
-    outbox: Vec<Outgoing<M>>,
-    outbox_bytes: Vec<u64>,
 }
 
 /// Which program entry point the execute phase calls.
@@ -236,27 +327,32 @@ impl<P: NodeProgram> Network<P> {
         }
         let csr = graph.freeze();
         let knowledge = initial_knowledge(&csr, config.knowledge, config.log_n_slack);
-        let port_edges: Vec<Vec<EdgeId>> = csr
-            .nodes()
-            .map(|v| csr.incident_edges(v).iter().map(|ie| ie.edge).collect())
-            .collect();
+        let edge_slots = edge_slot_count(csr.edge_ids());
+        let edge_endpoints = csr.endpoint_table();
+        debug_assert_eq!(edge_endpoints.len(), edge_slots);
         let programs: Vec<P> = knowledge.iter().map(|k| factory(k.node, k)).collect();
         let rngs = (0..graph.node_count())
             .map(|v| ChaCha8Rng::seed_from_u64(node_seed(config.seed, v)))
             .collect();
         let node_count = graph.node_count();
-        let ledger = MessageLedger::new(edge_slot_count(csr.edge_ids()));
+        let ledger = MessageLedger::new(edge_slots);
         Ok(Network {
             csr,
             config,
             knowledge,
-            port_edges,
+            edge_endpoints,
             programs,
             rngs,
             halted: vec![false; node_count],
+            inboxes: (0..node_count).map(|_| Vec::new()).collect(),
             pending: (0..node_count).map(|_| Vec::new()).collect(),
+            outboxes: (0..node_count).map(|_| Vec::new()).collect(),
+            buckets: Vec::new(),
+            bucket_scratch: Vec::new(),
+            in_flight: 0,
             metrics: ExecutionMetrics::new(node_count),
             ledger,
+            scratch: None,
             trace: Trace::with_capacity(config.trace_capacity),
             round: 0,
             initialized: false,
@@ -323,14 +419,16 @@ impl<P: NodeProgram> Network<P> {
         self.metrics.summary()
     }
 
-    /// The (bounded) message trace.
+    /// The (bounded) message trace. Empty unless the network was configured
+    /// with [`TraceMode::Full`] (e.g. via [`NetworkConfig::traced`]).
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
     /// Number of messages currently in flight (sent but not yet delivered).
+    /// `O(1)`: the engine maintains the counter at the round barrier.
     pub fn pending_messages(&self) -> usize {
-        self.pending.iter().map(Vec::len).sum()
+        self.in_flight
     }
 
     /// Effective shard count: the configured value clamped to the node
@@ -339,150 +437,291 @@ impl<P: NodeProgram> Network<P> {
         self.config.shards.min(self.programs.len()).max(1)
     }
 
-    /// Execute phase: steps every program once (init or round), returning
-    /// the per-node outcomes in node order. With more than one shard the
-    /// nodes are split into contiguous chunks stepped on scoped worker
-    /// threads; the outcome vector is assembled in shard order, so it is
-    /// identical to the sequential one.
-    fn execute_phase(
-        &mut self,
-        round: u32,
-        mut inboxes: Vec<Vec<Envelope<P::Message>>>,
-        phase: Phase,
-    ) -> Vec<NodeOutcome<P::Message>> {
+    /// Execute phase: steps every program once (init or round) against its
+    /// inbox snapshot, writing resolved messages into the per-node
+    /// persistent outboxes and sizing their payloads
+    /// ([`NodeProgram::payload_bytes`]) on the worker that stepped the
+    /// node. With more than one shard the nodes are split into contiguous
+    /// chunks stepped on scoped worker threads.
+    ///
+    /// An invalid send (unknown or non-incident edge) aborts the round at
+    /// the barrier — before anything is delivered or counted — reporting
+    /// the canonically first error (lowest node, earliest send).
+    fn execute_phase(&mut self, round: u32, phase: Phase) -> RuntimeResult<()> {
         let shards = self.shard_count();
+        let csr = &self.csr;
         let knowledge = &self.knowledge;
-        let port_edges = &self.port_edges;
+        let edge_endpoints = &self.edge_endpoints;
+        let inboxes = &self.inboxes;
 
         let step = |index: usize,
                     program: &mut P,
                     rng: &mut ChaCha8Rng,
-                    inbox: &[Envelope<P::Message>]| {
-            let mut ctx = Context::new(&knowledge[index], &port_edges[index], round, rng);
+                    outbox: &mut Vec<Outgoing<P::Message>>,
+                    halted: &mut bool|
+         -> Option<RuntimeError> {
+            outbox.clear();
+            let mut ctx = Context::new(
+                &knowledge[index],
+                csr.incident_edges(NodeId::from_usize(index)),
+                edge_endpoints,
+                round,
+                rng,
+                outbox,
+            );
             match phase {
                 Phase::Init => program.init(&mut ctx),
-                Phase::Round => program.round(&mut ctx, inbox),
+                Phase::Round => program.round(&mut ctx, &inboxes[index]),
             }
-            let outbox = std::mem::take(&mut ctx.outbox);
-            // Size the payloads here, on the shard's worker thread: the
-            // ledger's per-shard accounting that the barrier then merges.
-            let outbox_bytes = outbox
-                .iter()
-                .map(|outgoing| P::payload_bytes(&outgoing.payload))
-                .collect();
-            NodeOutcome {
-                halted: ctx.halted,
-                outbox,
-                outbox_bytes,
+            if ctx.halted {
+                *halted = true;
             }
+            let error = ctx.error.take();
+            // Size the payloads here, on the thread that stepped the node:
+            // the per-shard portion of the ledger accounting.
+            for outgoing in outbox.iter_mut() {
+                outgoing.bytes = P::payload_bytes(&outgoing.payload);
+            }
+            error
         };
 
+        let mut first_error: Option<RuntimeError> = None;
         if shards == 1 {
-            return self
+            for (index, (((program, rng), outbox), halted)) in self
                 .programs
                 .iter_mut()
                 .zip(self.rngs.iter_mut())
-                .zip(inboxes.iter())
+                .zip(self.outboxes.iter_mut())
+                .zip(self.halted.iter_mut())
                 .enumerate()
-                .map(|(index, ((program, rng), inbox))| step(index, program, rng, inbox))
-                .collect();
-        }
-
-        let chunk = self.programs.len().div_ceil(shards);
-        let mut shard_outcomes: Vec<Vec<NodeOutcome<P::Message>>> = Vec::with_capacity(shards);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .programs
-                .chunks_mut(chunk)
-                .zip(self.rngs.chunks_mut(chunk))
-                .zip(inboxes.chunks_mut(chunk))
-                .enumerate()
-                .map(|(shard, ((programs, rngs), inboxes))| {
-                    let base = shard * chunk;
-                    let step = &step;
-                    scope.spawn(move || {
-                        programs
-                            .iter_mut()
-                            .zip(rngs.iter_mut())
-                            .zip(inboxes.iter())
-                            .enumerate()
-                            .map(|(offset, ((program, rng), inbox))| {
-                                step(base + offset, program, rng, inbox)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join() {
-                    Ok(outcomes) => shard_outcomes.push(outcomes),
-                    // A panicking program panics the whole execution, just
-                    // like in the sequential engine.
-                    Err(payload) => std::panic::resume_unwind(payload),
+            {
+                let error = step(index, program, rng, outbox, halted);
+                if first_error.is_none() {
+                    first_error = error;
                 }
             }
-        });
-        shard_outcomes.into_iter().flatten().collect()
-    }
-
-    /// Dispatch phase: applies the execute-phase outcomes at the round
-    /// barrier, in ascending node order — the canonical order that makes
-    /// metrics, traces and pending queues independent of the shard count.
-    fn dispatch_outcomes(
-        &mut self,
-        outcomes: Vec<NodeOutcome<P::Message>>,
-        round: u32,
-    ) -> RuntimeResult<()> {
-        for (index, outcome) in outcomes.into_iter().enumerate() {
-            if outcome.halted {
-                self.halted[index] = true;
-            }
-            self.dispatch(
-                NodeId::from_usize(index),
-                outcome.outbox,
-                outcome.outbox_bytes,
-                round,
-            )?;
+        } else {
+            let chunk = self.programs.len().div_ceil(shards);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .programs
+                    .chunks_mut(chunk)
+                    .zip(self.rngs.chunks_mut(chunk))
+                    .zip(self.outboxes.chunks_mut(chunk))
+                    .zip(self.halted.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(shard, (((programs, rngs), outboxes), halted))| {
+                        let base = shard * chunk;
+                        let step = &step;
+                        scope.spawn(move || {
+                            let mut shard_error: Option<RuntimeError> = None;
+                            for (offset, (((program, rng), outbox), halted)) in programs
+                                .iter_mut()
+                                .zip(rngs.iter_mut())
+                                .zip(outboxes.iter_mut())
+                                .zip(halted.iter_mut())
+                                .enumerate()
+                            {
+                                let error = step(base + offset, program, rng, outbox, halted);
+                                if shard_error.is_none() {
+                                    shard_error = error;
+                                }
+                            }
+                            shard_error
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        // Shards are joined in ascending node order, so the
+                        // first error seen is the canonically first one.
+                        Ok(error) => {
+                            if first_error.is_none() {
+                                first_error = error;
+                            }
+                        }
+                        // A panicking program panics the whole execution,
+                        // just like in the sequential engine.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
         }
-        Ok(())
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
 
-    fn dispatch(
-        &mut self,
-        sender: NodeId,
-        outbox: Vec<Outgoing<P::Message>>,
-        outbox_bytes: Vec<u64>,
-        round: u32,
-    ) -> RuntimeResult<()> {
-        for (outgoing, payload_bytes) in outbox.into_iter().zip(outbox_bytes) {
-            let edge = self
-                .csr
-                .edge(outgoing.edge)
-                .map_err(|_| RuntimeError::UnknownEdge {
+    /// Dispatch phase: the round barrier. Counts every outbox into the
+    /// metrics (sender-side, canonical node order), then delivers into the
+    /// back mailbox buffer — serially when tracing or single-sharded,
+    /// receiver-sharded in parallel otherwise. All sends were validated at
+    /// send time, so this phase cannot fail.
+    fn dispatch_phase(&mut self, round: u32) {
+        let mut round_total = 0u64;
+        for (index, outbox) in self.outboxes.iter().enumerate() {
+            let count = outbox.len() as u64;
+            if count > 0 {
+                self.metrics.record_sends(index, count);
+            }
+            round_total += count;
+        }
+        self.in_flight = round_total as usize;
+
+        let shards = self.shard_count();
+        let traced = self.config.trace_mode == TraceMode::Full;
+        if shards == 1 || traced || round_total == 0 {
+            self.dispatch_serial(round, traced);
+        } else {
+            self.dispatch_parallel(shards);
+        }
+    }
+
+    /// Serial delivery in canonical (sender-major) order; the only path
+    /// that records trace events, because they must appear in that order.
+    /// Outboxes are drained, so payloads move without cloning.
+    fn dispatch_serial(&mut self, round: u32, traced: bool) {
+        let pending = &mut self.pending;
+        let ledger = &mut self.ledger;
+        let trace = &mut self.trace;
+        for mailbox in pending.iter_mut() {
+            mailbox.clear();
+        }
+        for outbox in self.outboxes.iter_mut() {
+            for outgoing in outbox.drain(..) {
+                ledger.record(outgoing.edge.index(), outgoing.bytes);
+                if traced {
+                    trace.record(TraceEvent {
+                        round,
+                        from: outgoing.sender,
+                        to: outgoing.receiver,
+                        edge: outgoing.edge,
+                    });
+                }
+                pending[outgoing.receiver.index()].push(Envelope {
                     edge: outgoing.edge,
-                })?;
-            if !edge.touches(sender) {
-                return Err(RuntimeError::NotIncident {
-                    node: sender,
-                    edge: outgoing.edge,
+                    from: outgoing.sender,
+                    payload: outgoing.payload,
                 });
             }
-            let receiver = edge.other(sender);
-            self.metrics.record_send(sender.index());
-            self.ledger.record_edge(edge.id, payload_bytes);
-            self.trace.record(TraceEvent {
-                round,
-                from: sender,
-                to: receiver,
-                edge: edge.id,
-            });
-            self.pending[receiver.index()].push(Envelope {
-                edge: edge.id,
-                from: sender,
-                payload: outgoing.payload,
-            });
         }
-        Ok(())
+    }
+
+    /// Receiver-sharded parallel delivery, as a two-step bucket exchange:
+    ///
+    /// 1. *Route* — the execute-phase node shards drain their outboxes into
+    ///    per-(sender shard × receiver shard) buckets, so every message is
+    ///    copied once and each receiver shard's messages end up in exactly
+    ///    `shards` buckets, already in canonical (node, send) order.
+    /// 2. *Deliver* — worker `k` owns the contiguous receiver range of
+    ///    shard `k`; it drains its bucket column in ascending sender-shard
+    ///    order (payloads move, never clone), filling each mailbox in
+    ///    exactly the order the serial path produces.
+    ///
+    /// Per-edge ledger partials accumulate in the shared atomic scratch
+    /// (sums — order-independent) and are merged into the [`MessageLedger`]
+    /// when the barrier closes, in `O(edges touched this round)`. Unlike a
+    /// naive scan-all barrier (every worker reading every outbox), total
+    /// memory traffic is `O(messages)` regardless of the shard count.
+    fn dispatch_parallel(&mut self, shards: usize) {
+        let edge_slots = self.ledger.edge_slots();
+        let scratch = self
+            .scratch
+            .get_or_insert_with(|| DispatchScratch::new(edge_slots, shards));
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(shards * shards, Vec::new);
+            self.bucket_scratch.resize_with(shards * shards, Vec::new);
+        }
+        let chunk = self.pending.len().div_ceil(shards);
+
+        // Route: node-sharded workers bucket their outboxes by receiver
+        // shard. Buckets are empty here (drained by the previous delivery).
+        std::thread::scope(|scope| {
+            for (outboxes, row) in self
+                .outboxes
+                .chunks_mut(chunk)
+                .zip(self.buckets.chunks_mut(shards))
+            {
+                scope.spawn(move || {
+                    for outbox in outboxes {
+                        for outgoing in outbox.drain(..) {
+                            row[outgoing.receiver.index() / chunk].push(outgoing);
+                        }
+                    }
+                });
+            }
+        });
+
+        // Transpose to column-major so each delivery worker can borrow its
+        // receiver shard's column as one contiguous slice (header moves
+        // only, no message is copied).
+        for sender_shard in 0..shards {
+            for receiver_shard in 0..shards {
+                self.bucket_scratch[receiver_shard * shards + sender_shard] =
+                    std::mem::take(&mut self.buckets[sender_shard * shards + receiver_shard]);
+            }
+        }
+
+        // Deliver: receiver-sharded workers drain their columns.
+        let edge_counts = &scratch.edge_counts;
+        let edge_bytes = &scratch.edge_bytes;
+        std::thread::scope(|scope| {
+            for (((shard, mailboxes), column), touched) in self
+                .pending
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(self.bucket_scratch.chunks_mut(shards))
+                .zip(scratch.touched.iter_mut())
+            {
+                let lo = shard * chunk;
+                scope.spawn(move || {
+                    for mailbox in mailboxes.iter_mut() {
+                        mailbox.clear();
+                    }
+                    for bucket in column {
+                        for outgoing in bucket.drain(..) {
+                            let edge = outgoing.edge.index();
+                            // First toucher of the round claims the edge for
+                            // its merge list; the lists partition the
+                            // touched set.
+                            if edge_counts[edge].fetch_add(1, Ordering::Relaxed) == 0 {
+                                touched.push(edge as u32);
+                            }
+                            edge_bytes[edge].fetch_add(outgoing.bytes, Ordering::Relaxed);
+                            mailboxes[outgoing.receiver.index() - lo].push(Envelope {
+                                edge: outgoing.edge,
+                                from: outgoing.sender,
+                                payload: outgoing.payload,
+                            });
+                        }
+                    }
+                });
+            }
+        });
+
+        // Return the (empty, capacity-bearing) buckets to row-major for the
+        // next round's route step.
+        for sender_shard in 0..shards {
+            for receiver_shard in 0..shards {
+                self.buckets[sender_shard * shards + receiver_shard] = std::mem::take(
+                    &mut self.bucket_scratch[receiver_shard * shards + sender_shard],
+                );
+            }
+        }
+        // Merge the partials in canonical shard order. Each touched edge
+        // appears in exactly one list and its accumulators hold the full
+        // round totals by now, so one `record_bulk` per edge reproduces the
+        // serial ledger bit for bit.
+        for touched in scratch.touched.iter_mut() {
+            for &edge in touched.iter() {
+                let edge = edge as usize;
+                let count = u64::from(edge_counts[edge].swap(0, Ordering::Relaxed));
+                let bytes = edge_bytes[edge].swap(0, Ordering::Relaxed);
+                self.ledger.record_bulk(edge, count, bytes);
+            }
+            touched.clear();
+        }
     }
 
     /// Runs the initialization phase (safe to call multiple times; only the
@@ -497,10 +736,8 @@ impl<P: NodeProgram> Network<P> {
         if self.initialized {
             return Ok(());
         }
-        let empty_inboxes: Vec<Vec<Envelope<P::Message>>> =
-            (0..self.programs.len()).map(|_| Vec::new()).collect();
-        let outcomes = self.execute_phase(0, empty_inboxes, Phase::Init);
-        self.dispatch_outcomes(outcomes, 0)?;
+        self.execute_phase(0, Phase::Init)?;
+        self.dispatch_phase(0);
         self.initialized = true;
         Ok(())
     }
@@ -517,11 +754,24 @@ impl<P: NodeProgram> Network<P> {
         self.round += 1;
         self.metrics.start_round();
         self.ledger.start_round();
-        let inboxes: Vec<Vec<Envelope<P::Message>>> =
-            self.pending.iter_mut().map(std::mem::take).collect();
+        // Swap the double-buffered mailboxes: last round's back buffer
+        // becomes this round's inboxes; the stale front buffer is cleared
+        // (capacity kept) by the dispatch phase before it refills it.
+        std::mem::swap(&mut self.inboxes, &mut self.pending);
+        self.in_flight = 0;
         let round = self.round;
-        let outcomes = self.execute_phase(round, inboxes, Phase::Round);
-        self.dispatch_outcomes(outcomes, round)
+        if let Err(error) = self.execute_phase(round, Phase::Round) {
+            // The barrier never ran, so the back buffer still holds the
+            // (already delivered) envelopes of two rounds ago. Drop them:
+            // a caller that continues past the error must not see them
+            // swapped back in as freshly delivered messages.
+            for mailbox in &mut self.pending {
+                mailbox.clear();
+            }
+            return Err(error);
+        }
+        self.dispatch_phase(round);
+        Ok(())
     }
 
     /// Runs exactly `rounds` synchronous rounds.
@@ -582,6 +832,7 @@ impl<P: NodeProgram> Network<P> {
 mod tests {
     use super::*;
     use freelunch_graph::generators::{cycle_graph, GeneratorConfig};
+    use freelunch_graph::EdgeId;
 
     /// Floods a token: node 0 starts with it, everyone forwards it the round
     /// after first hearing it, then halts.
@@ -725,6 +976,65 @@ mod tests {
     }
 
     #[test]
+    fn invalid_send_aborts_before_any_delivery() {
+        /// Node 0 sends a valid message and then an invalid one.
+        struct HalfRogue;
+        impl NodeProgram for HalfRogue {
+            type Message = ();
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                if ctx.node() == NodeId::new(0) {
+                    ctx.send_port(0, ());
+                    ctx.send(EdgeId::new(999), ());
+                }
+            }
+        }
+        let graph = cycle(4);
+        let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| HalfRogue).unwrap();
+        assert!(network.run_round().is_err());
+        // The round aborted at the barrier: nothing was delivered or
+        // counted, not even the valid send that preceded the invalid one.
+        assert_eq!(network.pending_messages(), 0);
+        assert_eq!(network.cost().messages, 0);
+    }
+
+    #[test]
+    fn aborted_round_does_not_redeliver_stale_messages() {
+        /// Everyone broadcasts in round 1; node 0 additionally sends over an
+        /// unknown edge in round 2, aborting that round. A program records
+        /// how many messages it saw each round.
+        struct FlakyRogue {
+            seen: Vec<usize>,
+        }
+        impl NodeProgram for FlakyRogue {
+            type Message = ();
+            fn round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
+                self.seen.push(inbox.len());
+                if ctx.round() == 1 {
+                    ctx.broadcast(());
+                }
+                if ctx.round() == 2 && ctx.node() == NodeId::new(0) {
+                    ctx.send(EdgeId::new(999), ());
+                }
+            }
+        }
+        for shards in [1, 3] {
+            let graph = cycle(6);
+            let config = NetworkConfig::default().sharded(shards);
+            let mut network =
+                Network::new(&graph, config, |_, _| FlakyRogue { seen: Vec::new() }).unwrap();
+            network.run_round().unwrap(); // round 1: everyone broadcasts
+            assert!(network.run_round().is_err()); // round 2 aborts
+            network.run_round().unwrap(); // round 3 continues past the error
+            for program in network.programs() {
+                // Round 1 empty, round 2 delivers the broadcasts, round 3
+                // must NOT re-deliver them (the aborted round's back buffer
+                // held them as stale two-round-old envelopes).
+                assert_eq!(program.seen, vec![0, 2, 0], "at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
     fn empty_graph_is_rejected() {
         struct Noop;
         impl NodeProgram for Noop {
@@ -743,6 +1053,20 @@ mod tests {
         network.run_until_halt(10).unwrap();
         assert_eq!(network.trace().total(), network.cost().messages);
         assert!(network.trace().events().iter().any(|e| e.round == 0));
+    }
+
+    #[test]
+    fn trace_is_off_by_default_but_counts_stay_exact() {
+        let graph = cycle(4);
+        assert_eq!(NetworkConfig::default().trace_mode, TraceMode::Off);
+        let mut network = Network::new(&graph, NetworkConfig::with_seed(3), |node, _| {
+            Flood::new(node)
+        })
+        .unwrap();
+        network.run_until_halt(10).unwrap();
+        assert_eq!(network.trace().total(), 0);
+        assert_eq!(network.cost().messages, 8);
+        assert_eq!(network.ledger().total_messages(), 8);
     }
 
     #[test]
@@ -830,8 +1154,12 @@ mod tests {
     fn noisy_run(
         graph: &MultiGraph,
         shards: usize,
+        trace_mode: TraceMode,
     ) -> (Vec<u64>, ExecutionMetrics, Trace, MessageLedger) {
-        let config = NetworkConfig::with_seed(99).traced(10_000).sharded(shards);
+        let config = NetworkConfig::with_seed(99)
+            .traced(10_000)
+            .trace_mode(trace_mode)
+            .sharded(shards);
         let mut network = Network::new(graph, config, |_, _| NoisyGossip { sum: 0 }).unwrap();
         network.run_until_halt(10).unwrap();
         let metrics = network.metrics().clone();
@@ -845,14 +1173,92 @@ mod tests {
     fn sharded_execution_is_bit_identical_to_sequential() {
         use freelunch_graph::generators::sparse_connected_erdos_renyi;
         let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(61, 2), 5.0).unwrap();
-        let sequential = noisy_run(&graph, 1);
-        for shards in [2, 3, 8, 61, 200] {
-            let sharded = noisy_run(&graph, shards);
-            assert_eq!(sequential.0, sharded.0, "outputs differ at {shards} shards");
-            assert_eq!(sequential.1, sharded.1, "metrics differ at {shards} shards");
-            assert_eq!(sequential.2, sharded.2, "traces differ at {shards} shards");
-            assert_eq!(sequential.3, sharded.3, "ledgers differ at {shards} shards");
+        for trace_mode in [TraceMode::Full, TraceMode::Off] {
+            let sequential = noisy_run(&graph, 1, trace_mode);
+            for shards in [2, 3, 8, 61, 200] {
+                let sharded = noisy_run(&graph, shards, trace_mode);
+                assert_eq!(sequential.0, sharded.0, "outputs differ at {shards} shards");
+                assert_eq!(sequential.1, sharded.1, "metrics differ at {shards} shards");
+                assert_eq!(sequential.2, sharded.2, "traces differ at {shards} shards");
+                assert_eq!(sequential.3, sharded.3, "ledgers differ at {shards} shards");
+            }
         }
+    }
+
+    #[test]
+    fn trace_mode_changes_only_the_trace() {
+        use freelunch_graph::generators::sparse_connected_erdos_renyi;
+        let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(61, 2), 5.0).unwrap();
+        for shards in [1, 4] {
+            let full = noisy_run(&graph, shards, TraceMode::Full);
+            let off = noisy_run(&graph, shards, TraceMode::Off);
+            assert_eq!(full.0, off.0, "outputs differ at {shards} shards");
+            assert_eq!(full.1, off.1, "metrics differ at {shards} shards");
+            assert_eq!(full.3, off.3, "ledgers differ at {shards} shards");
+            assert_eq!(full.2.total(), full.1.total_messages());
+            assert_eq!(off.2.total(), 0);
+        }
+    }
+
+    #[test]
+    fn mailboxes_and_outboxes_are_reused_across_rounds() {
+        /// Broadcasts every round for 6 rounds.
+        struct Chatter;
+        impl NodeProgram for Chatter {
+            type Message = u64;
+            fn init(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.broadcast(1);
+            }
+            fn round(&mut self, ctx: &mut Context<'_, u64>, _inbox: &[Envelope<u64>]) {
+                if ctx.round() < 6 {
+                    ctx.broadcast(ctx.round() as u64);
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        for shards in [1, 3] {
+            let graph = cycle(9);
+            let config = NetworkConfig::with_seed(5).sharded(shards);
+            let mut network = Network::new(&graph, config, |_, _| Chatter).unwrap();
+            network.run_rounds(3).unwrap();
+            let capacities: Vec<(usize, usize, usize)> = (0..9)
+                .map(|v| {
+                    (
+                        network.inboxes[v].capacity(),
+                        network.pending[v].capacity(),
+                        network.outboxes[v].capacity(),
+                    )
+                })
+                .collect();
+            network.run_rounds(3).unwrap();
+            // Steady state: three more identical rounds grow no buffer.
+            for (v, expected) in capacities.iter().enumerate() {
+                assert_eq!(network.inboxes[v].capacity(), expected.0, "{shards}");
+                assert_eq!(network.pending[v].capacity(), expected.1, "{shards}");
+                assert_eq!(network.outboxes[v].capacity(), expected.2, "{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn pending_message_counter_tracks_dispatch_and_delivery() {
+        let graph = cycle(6);
+        let mut network = Network::new(&graph, NetworkConfig::with_seed(4), |node, _| {
+            Flood::new(node)
+        })
+        .unwrap();
+        assert_eq!(network.pending_messages(), 0);
+        network.initialize().unwrap();
+        // Node 0 broadcast over its 2 incident edges during initialization.
+        assert_eq!(network.pending_messages(), 2);
+        network.run_until_halt(10).unwrap();
+        // The last node to hear the token (node 3, opposite on the cycle)
+        // broadcast in the final round; its wave is still in flight.
+        assert_eq!(network.pending_messages(), 2);
+        network.run_round().unwrap();
+        // Delivered, and every node is halted: nothing new was sent.
+        assert_eq!(network.pending_messages(), 0);
     }
 
     #[test]
@@ -896,13 +1302,15 @@ mod tests {
 
     #[test]
     fn payload_bytes_override_is_respected() {
-        let graph = cycle(4);
-        let mut network =
-            Network::new(&graph, NetworkConfig::default(), |_, _| SizedBeacon).unwrap();
-        network.run_until_halt(3).unwrap();
-        // 4 nodes × 2 edges, each message charged popcount(7) = 3 bytes.
-        assert_eq!(network.ledger().total_messages(), 8);
-        assert_eq!(network.ledger().total_bytes(), 24);
+        for shards in [1, 2] {
+            let graph = cycle(4);
+            let config = NetworkConfig::default().sharded(shards);
+            let mut network = Network::new(&graph, config, |_, _| SizedBeacon).unwrap();
+            network.run_until_halt(3).unwrap();
+            // 4 nodes × 2 edges, each message charged popcount(7) = 3 bytes.
+            assert_eq!(network.ledger().total_messages(), 8);
+            assert_eq!(network.ledger().total_bytes(), 24);
+        }
     }
 
     #[test]
@@ -982,5 +1390,33 @@ mod tests {
         assert!(network.all_halted());
         assert_eq!(network.pending_messages(), 0);
         assert_eq!(network.halted_count(), 3);
+    }
+
+    #[test]
+    fn sparse_edge_ids_resolve_through_the_endpoint_table() {
+        /// Broadcasts once; the cluster-contraction style graph below has a
+        /// deliberately sparse edge-ID space.
+        struct Ping;
+        impl NodeProgram for Ping {
+            type Message = ();
+            fn init(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                ctx.halt();
+            }
+        }
+        let mut graph = MultiGraph::new(3);
+        graph
+            .add_edge_with_id(EdgeId::new(500), NodeId::new(0), NodeId::new(1))
+            .unwrap();
+        graph
+            .add_edge_with_id(EdgeId::new(7), NodeId::new(1), NodeId::new(2))
+            .unwrap();
+        let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| Ping).unwrap();
+        network.run_until_halt(3).unwrap();
+        assert_eq!(network.cost().messages, 4);
+        assert_eq!(network.ledger().messages_per_edge()[500], 2);
+        assert_eq!(network.ledger().messages_per_edge()[7], 2);
     }
 }

@@ -22,11 +22,16 @@
 //! per-round message counts with payload byte sizing, the workspace-wide
 //! meter specified in `docs/METRICS.md`.
 //!
-//! The engine can step each round's node programs on multiple worker
-//! threads ([`NetworkConfig::sharded`]); outboxes are merged at a round
-//! barrier in canonical node order, so every observable of the execution is
-//! **bit-identical for every shard count** — see [`engine`] for the
-//! two-phase design.
+//! Messages move through a zero-allocation, double-buffered mailbox plane:
+//! sends are resolved (validated, receiver looked up) at send time, every
+//! buffer is reused across rounds, and per-message trace recording is
+//! gated behind [`TraceMode`] (off by default). The engine can run both
+//! phases of a round on multiple worker threads
+//! ([`NetworkConfig::sharded`]): programs are stepped node-sharded, and
+//! delivery runs receiver-sharded through a bucket exchange whose ledger
+//! partials merge at the round barrier in canonical order — so every
+//! observable of the execution is **bit-identical for every shard count**.
+//! See [`engine`] for the design and `docs/PERF.md` for the costs.
 //!
 //! # Examples
 //!
@@ -75,4 +80,4 @@ pub use error::{RuntimeError, RuntimeResult};
 pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
 pub use metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
 pub use node::{Context, Envelope, NodeProgram};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceMode};

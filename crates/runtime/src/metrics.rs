@@ -96,11 +96,18 @@ impl ExecutionMetrics {
 
     /// Records that `node` sent one message during the current round slot.
     pub fn record_send(&mut self, node_index: usize) {
+        self.record_sends(node_index, 1);
+    }
+
+    /// Records that `node` sent `count` messages during the current round
+    /// slot — the bulk form the engine uses at the round barrier, where a
+    /// node's send count is just its outbox length.
+    pub fn record_sends(&mut self, node_index: usize, count: u64) {
         *self
             .messages_per_round
             .last_mut()
-            .expect("at least one round slot exists") += 1;
-        self.messages_per_node[node_index] += 1;
+            .expect("at least one round slot exists") += count;
+        self.messages_per_node[node_index] += count;
     }
 
     /// Opens a new round slot.
@@ -181,7 +188,7 @@ pub fn edge_slot_count(edges: impl IntoIterator<Item = EdgeId>) -> usize {
 /// assert_eq!(ledger.max_edge_messages_per_round(), &[1, 2]);
 /// assert_eq!(ledger.max_congestion(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MessageLedger {
     /// Messages carried by each edge over the whole execution, indexed by
     /// [`EdgeId::index`].
@@ -213,6 +220,24 @@ impl Default for MessageLedger {
         MessageLedger::new(0)
     }
 }
+
+/// Equality covers exactly the serialized contract (per-edge and per-round
+/// counts, bytes, congestion). The `#[serde(skip)]` scratch is excluded: the
+/// engine's parallel round barrier discovers the edges touched in a round in
+/// worker order, so the scratch's *insertion order* can differ between a
+/// serial and a sharded dispatch of the same execution even though every
+/// recorded value is bit-identical.
+impl PartialEq for MessageLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.messages_per_edge == other.messages_per_edge
+            && self.bytes_per_edge == other.bytes_per_edge
+            && self.messages_per_round == other.messages_per_round
+            && self.bytes_per_round == other.bytes_per_round
+            && self.max_edge_messages_per_round == other.max_edge_messages_per_round
+    }
+}
+
+impl Eq for MessageLedger {}
 
 impl MessageLedger {
     /// Creates an empty ledger with `edge_slots` per-edge counters (use
@@ -248,21 +273,44 @@ impl MessageLedger {
     ///
     /// Panics if `edge_index` is outside the `edge_slots` the ledger was
     /// created with.
+    #[inline]
     pub fn record(&mut self, edge_index: usize, payload_bytes: u64) {
-        self.messages_per_edge[edge_index] += 1;
+        self.record_bulk(edge_index, 1, payload_bytes);
+    }
+
+    /// Records `count` messages totalling `payload_bytes` bytes on the edge
+    /// with dense index `edge_index` in the current round slot — the bulk
+    /// form used by the engine's parallel round barrier, which accumulates
+    /// per-edge counts on its dispatch workers and merges each edge's
+    /// round total with a single call. Recording `(e, k, b)` leaves the
+    /// ledger in exactly the state `k` single [`MessageLedger::record`]
+    /// calls of `b/k` bytes each would (sums and per-round maxima are
+    /// order-independent), which is why a sharded and a serial barrier
+    /// produce bit-identical ledgers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_index` is outside the `edge_slots` the ledger was
+    /// created with.
+    #[inline]
+    pub fn record_bulk(&mut self, edge_index: usize, count: u64, payload_bytes: u64) {
+        if count == 0 {
+            return;
+        }
+        self.messages_per_edge[edge_index] += count;
         self.bytes_per_edge[edge_index] += payload_bytes;
         *self
             .messages_per_round
             .last_mut()
-            .expect("at least one round slot exists") += 1;
+            .expect("at least one round slot exists") += count;
         *self
             .bytes_per_round
             .last_mut()
             .expect("at least one round slot exists") += payload_bytes;
-        self.round_edge_counts[edge_index] += 1;
-        if self.round_edge_counts[edge_index] == 1 {
+        if self.round_edge_counts[edge_index] == 0 {
             self.touched.push(edge_index);
         }
+        self.round_edge_counts[edge_index] += count;
         let congestion = self
             .max_edge_messages_per_round
             .last_mut()

@@ -1,7 +1,8 @@
 //! Node programs and their per-round execution context.
 
+use crate::error::RuntimeError;
 use crate::knowledge::{InitialKnowledge, Port};
-use freelunch_graph::{EdgeId, NodeId};
+use freelunch_graph::{CsrGraph, EdgeId, IncidentEdge, NodeId};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
 
@@ -23,10 +24,18 @@ pub struct Envelope<M> {
     pub payload: M,
 }
 
-/// One buffered outgoing message.
+/// One buffered outgoing message, fully resolved at send time: the context
+/// validates the edge and looks up the receiver when the program calls
+/// [`Context::send`] / [`Context::send_port`], so the dispatch barrier does
+/// no per-message graph work at all. `bytes` is the
+/// [`NodeProgram::payload_bytes`] wire size, filled in by the engine on the
+/// shard worker thread right after the program's step returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Outgoing<M> {
     pub edge: EdgeId,
+    pub sender: NodeId,
+    pub receiver: NodeId,
+    pub bytes: u64,
     pub payload: M,
 }
 
@@ -37,33 +46,52 @@ pub(crate) struct Outgoing<M> {
 /// depending on the [`KnowledgeModel`](crate::knowledge::KnowledgeModel)),
 /// the current round number, a deterministic private source of randomness,
 /// and the ability to send messages over incident edges.
+///
+/// Sends are resolved eagerly: `send_port` (and `broadcast`) read the
+/// receiver straight off the node's packed CSR incidence slice, and `send`
+/// validates the edge with a single dense array read. A message over an
+/// unknown or non-incident edge is dropped and the error is reported when
+/// the round's barrier is reached, so a program bug cannot silently
+/// teleport messages.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     pub(crate) knowledge: &'a InitialKnowledge,
-    /// The edge behind each local port, resolved by the runtime. This is how
-    /// `KT0` programs send without ever learning global edge IDs: they
-    /// address ports, the runtime translates.
-    pub(crate) port_edges: &'a [EdgeId],
+    /// The node's packed incidence slice (one entry per local port, with the
+    /// edge and the opposite endpoint). This is how `KT0` programs send
+    /// without ever learning global edge IDs: they address ports, the
+    /// runtime translates.
+    pub(crate) ports: &'a [IncidentEdge],
+    /// Dense raw-edge-ID → endpoints table shared by every node: the one
+    /// array read that validates a [`Context::send`].
+    pub(crate) edge_endpoints: &'a [[u32; 2]],
     pub(crate) round: u32,
     pub(crate) rng: &'a mut ChaCha8Rng,
-    pub(crate) outbox: Vec<Outgoing<M>>,
+    /// The node's persistent outbox, reused across rounds (the engine clears
+    /// it before each step; in steady state no send allocates).
+    pub(crate) outbox: &'a mut Vec<Outgoing<M>>,
     pub(crate) halted: bool,
+    /// First invalid send of this step, surfaced at the round barrier.
+    pub(crate) error: Option<RuntimeError>,
 }
 
 impl<'a, M> Context<'a, M> {
     pub(crate) fn new(
         knowledge: &'a InitialKnowledge,
-        port_edges: &'a [EdgeId],
+        ports: &'a [IncidentEdge],
+        edge_endpoints: &'a [[u32; 2]],
         round: u32,
         rng: &'a mut ChaCha8Rng,
+        outbox: &'a mut Vec<Outgoing<M>>,
     ) -> Self {
         Context {
             knowledge,
-            port_edges,
+            ports,
+            edge_endpoints,
             round,
             rng,
-            outbox: Vec::new(),
+            outbox,
             halted: false,
+            error: None,
         }
     }
 
@@ -106,22 +134,60 @@ impl<'a, M> Context<'a, M> {
     /// Queues a message to be delivered over `edge` at the beginning of the
     /// next round.
     ///
-    /// The runtime validates at the end of the round that `edge` is incident
-    /// to this node and aborts the execution otherwise, so a program bug
-    /// cannot silently teleport messages.
+    /// The context validates immediately — one read of the dense endpoints
+    /// table — that `edge` exists and is incident to this node. An invalid
+    /// send queues nothing and aborts the execution at the round barrier, so
+    /// a program bug cannot silently teleport messages.
     pub fn send(&mut self, edge: EdgeId, payload: M) {
-        self.outbox.push(Outgoing { edge, payload });
+        let me = self.knowledge.node.raw();
+        let [u, v] = self
+            .edge_endpoints
+            .get(edge.index())
+            .copied()
+            .unwrap_or([CsrGraph::NO_ENDPOINT; 2]);
+        let receiver = if u == me {
+            v
+        } else if v == me {
+            u
+        } else {
+            let error = if u == CsrGraph::NO_ENDPOINT {
+                RuntimeError::UnknownEdge { edge }
+            } else {
+                RuntimeError::NotIncident {
+                    node: self.knowledge.node,
+                    edge,
+                }
+            };
+            self.error.get_or_insert(error);
+            return;
+        };
+        self.queue_resolved(edge, NodeId::new(receiver), payload);
+    }
+
+    /// Queues a fully resolved message; the single construction site every
+    /// send path funnels through (`bytes` is sized later, by the engine, on
+    /// the worker that stepped this node).
+    #[inline]
+    fn queue_resolved(&mut self, edge: EdgeId, receiver: NodeId, payload: M) {
+        self.outbox.push(Outgoing {
+            edge,
+            sender: self.knowledge.node,
+            receiver,
+            bytes: 0,
+            payload,
+        });
     }
 
     /// Queues a message on the edge behind local port `port`.
     ///
     /// This works under every knowledge model (the runtime resolves the port
-    /// to an edge; the program never needs to see the global ID). Returns
-    /// `false` and sends nothing if the port does not exist.
+    /// to an edge; the program never needs to see the global ID) and needs
+    /// no validation at all — the port table *is* the node's incidence list.
+    /// Returns `false` and sends nothing if the port does not exist.
     pub fn send_port(&mut self, port: usize, payload: M) -> bool {
-        match self.port_edges.get(port) {
-            Some(&edge) => {
-                self.send(edge, payload);
+        match self.ports.get(port) {
+            Some(&IncidentEdge { edge, neighbor }) => {
+                self.queue_resolved(edge, neighbor, payload);
                 true
             }
             None => false,
@@ -145,9 +211,10 @@ impl<'a, M: Clone> Context<'a, M> {
     /// Works under every knowledge model. Returns the number of messages
     /// queued.
     pub fn broadcast(&mut self, payload: M) -> usize {
-        let degree = self.port_edges.len();
-        for port in 0..degree {
-            self.send_port(port, payload.clone());
+        let degree = self.ports.len();
+        self.outbox.reserve(degree);
+        for &IncidentEdge { edge, neighbor } in self.ports {
+            self.queue_resolved(edge, neighbor, payload.clone());
         }
         degree
     }
@@ -160,15 +227,17 @@ impl<'a, M: Clone> Context<'a, M> {
 /// [`NodeProgram::init`] once and [`NodeProgram::round`] once per
 /// synchronous round, delivering the messages sent in the previous round.
 ///
-/// Programs (and their messages) must be [`Send`]: when the network is
-/// configured with more than one shard
+/// Programs must be [`Send`] and their messages [`Send`] + [`Sync`]: when
+/// the network is configured with more than one shard
 /// ([`NetworkConfig::sharded`](crate::engine::NetworkConfig::sharded)), each
 /// round steps the programs of different shards on different worker
-/// threads. Programs hold only per-node state, so this is automatic for
-/// ordinary implementations.
+/// threads, and the dispatch barrier's receiver-sharded workers read every
+/// node's outbox (and inbox snapshot) through shared references. Programs
+/// hold only per-node state and messages are plain data, so this is
+/// automatic for ordinary implementations.
 pub trait NodeProgram: Send {
     /// The message type exchanged by this algorithm.
-    type Message: Clone + fmt::Debug + Send;
+    type Message: Clone + fmt::Debug + Send + Sync;
 
     /// Called once before the first round; messages sent here are delivered
     /// in round 1.
@@ -214,20 +283,24 @@ mod tests {
         initial_knowledge(&sample_graph(), model, 1)
     }
 
-    fn port_edges_of(node: u32) -> Vec<EdgeId> {
-        sample_graph()
-            .incident_edges(NodeId::new(node))
-            .iter()
-            .map(|ie| ie.edge)
-            .collect()
+    fn ports_of(node: u32) -> Vec<IncidentEdge> {
+        sample_graph().incident_edges(NodeId::new(node)).to_vec()
+    }
+
+    fn endpoints_table() -> Vec<[u32; 2]> {
+        // The real construction the engine feeds Context with.
+        sample_graph().freeze().endpoint_table()
     }
 
     #[test]
     fn context_exposes_local_view() {
         let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
-        let ports = port_edges_of(0);
+        let ports = ports_of(0);
+        let endpoints = endpoints_table();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let ctx: Context<'_, u32> = Context::new(&knowledge[0], &ports, 3, &mut rng);
+        let mut outbox = Vec::new();
+        let ctx: Context<'_, u32> =
+            Context::new(&knowledge[0], &ports, &endpoints, 3, &mut rng, &mut outbox);
         assert_eq!(ctx.node(), NodeId::new(0));
         assert_eq!(ctx.degree(), 2);
         assert_eq!(ctx.round(), 3);
@@ -237,16 +310,66 @@ mod tests {
     }
 
     #[test]
-    fn send_and_broadcast_queue_messages() {
+    fn send_and_broadcast_queue_resolved_messages() {
         let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
-        let ports = port_edges_of(0);
+        let ports = ports_of(0);
+        let endpoints = endpoints_table();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut ctx: Context<'_, &'static str> = Context::new(&knowledge[0], &ports, 1, &mut rng);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, &'static str> =
+            Context::new(&knowledge[0], &ports, &endpoints, 1, &mut rng, &mut outbox);
         ctx.send(EdgeId::new(0), "hello");
         assert_eq!(ctx.queued_messages(), 1);
         let sent = ctx.broadcast("all");
         assert_eq!(sent, 2);
         assert_eq!(ctx.queued_messages(), 3);
+        assert!(ctx.error.is_none());
+        // Every queued message already knows its receiver.
+        assert_eq!(outbox[0].receiver, NodeId::new(1));
+        assert_eq!(outbox[1].receiver, NodeId::new(1));
+        assert_eq!(outbox[2].receiver, NodeId::new(2));
+    }
+
+    #[test]
+    fn invalid_sends_are_rejected_at_send_time() {
+        let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
+        // Node 1 is incident to edge 0 only.
+        let ports = ports_of(1);
+        let endpoints = endpoints_table();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut outbox: Vec<Outgoing<u8>> = Vec::new();
+        let mut ctx = Context::new(&knowledge[1], &ports, &endpoints, 1, &mut rng, &mut outbox);
+        // Edge 1 connects 0 and 2: not incident to node 1.
+        ctx.send(EdgeId::new(1), 9);
+        assert_eq!(
+            ctx.error,
+            Some(RuntimeError::NotIncident {
+                node: NodeId::new(1),
+                edge: EdgeId::new(1)
+            })
+        );
+        // A later unknown-edge send does not overwrite the first error, and
+        // neither send queues a message.
+        ctx.send(EdgeId::new(99), 9);
+        assert!(matches!(ctx.error, Some(RuntimeError::NotIncident { .. })));
+        assert_eq!(ctx.queued_messages(), 0);
+    }
+
+    #[test]
+    fn unknown_edge_is_distinguished_from_non_incident() {
+        let knowledge = sample_knowledge(KnowledgeModel::UniqueEdgeIds);
+        let ports = ports_of(0);
+        let endpoints = endpoints_table();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut outbox: Vec<Outgoing<u8>> = Vec::new();
+        let mut ctx = Context::new(&knowledge[0], &ports, &endpoints, 1, &mut rng, &mut outbox);
+        ctx.send(EdgeId::new(999), 1);
+        assert_eq!(
+            ctx.error,
+            Some(RuntimeError::UnknownEdge {
+                edge: EdgeId::new(999)
+            })
+        );
     }
 
     #[test]
@@ -257,9 +380,12 @@ mod tests {
             KnowledgeModel::Kt1,
         ] {
             let knowledge = sample_knowledge(model);
-            let ports = port_edges_of(0);
+            let ports = ports_of(0);
+            let endpoints = endpoints_table();
             let mut rng = ChaCha8Rng::seed_from_u64(1);
-            let mut ctx: Context<'_, u8> = Context::new(&knowledge[0], &ports, 1, &mut rng);
+            let mut outbox = Vec::new();
+            let mut ctx: Context<'_, u8> =
+                Context::new(&knowledge[0], &ports, &endpoints, 1, &mut rng, &mut outbox);
             assert!(ctx.send_port(1, 5));
             assert!(!ctx.send_port(99, 5));
             assert_eq!(ctx.queued_messages(), 1);
@@ -269,9 +395,11 @@ mod tests {
     #[test]
     fn halt_flag_is_recorded() {
         let knowledge = sample_knowledge(KnowledgeModel::Kt1);
-        let ports = port_edges_of(1);
+        let ports = ports_of(1);
+        let endpoints = endpoints_table();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut ctx: Context<'_, ()> = Context::new(&knowledge[1], &ports, 1, &mut rng);
+        let mut outbox: Vec<Outgoing<()>> = Vec::new();
+        let mut ctx = Context::new(&knowledge[1], &ports, &endpoints, 1, &mut rng, &mut outbox);
         assert!(!ctx.halted);
         ctx.halt();
         assert!(ctx.halted);
@@ -281,12 +409,29 @@ mod tests {
     fn rng_is_deterministic_per_seed() {
         use rand::Rng;
         let knowledge = sample_knowledge(KnowledgeModel::Kt1);
-        let ports = port_edges_of(0);
+        let ports = ports_of(0);
+        let endpoints = endpoints_table();
         let mut rng_a = ChaCha8Rng::seed_from_u64(9);
         let mut rng_b = ChaCha8Rng::seed_from_u64(9);
-        let mut ctx_a: Context<'_, ()> = Context::new(&knowledge[0], &ports, 1, &mut rng_a);
+        let mut outbox_a: Vec<Outgoing<()>> = Vec::new();
+        let mut outbox_b: Vec<Outgoing<()>> = Vec::new();
+        let mut ctx_a = Context::new(
+            &knowledge[0],
+            &ports,
+            &endpoints,
+            1,
+            &mut rng_a,
+            &mut outbox_a,
+        );
         let a: u64 = ctx_a.rng().gen();
-        let mut ctx_b: Context<'_, ()> = Context::new(&knowledge[0], &ports, 1, &mut rng_b);
+        let mut ctx_b = Context::new(
+            &knowledge[0],
+            &ports,
+            &endpoints,
+            1,
+            &mut rng_b,
+            &mut outbox_b,
+        );
         let b: u64 = ctx_b.rng().gen();
         assert_eq!(a, b);
     }

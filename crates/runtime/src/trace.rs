@@ -4,6 +4,31 @@
 use freelunch_graph::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
+/// How much per-message trace work the engine performs.
+///
+/// Tracing is a debugging and illustration tool; it is priced per message,
+/// so the engine gates it behind this mode instead of paying for it
+/// unconditionally. The default is [`TraceMode::Off`]: the hot dispatch
+/// path does no per-message trace work at all (message *counts* remain
+/// exact in [`ExecutionMetrics`](crate::metrics::ExecutionMetrics) and the
+/// [`MessageLedger`](crate::metrics::MessageLedger) regardless).
+///
+/// [`TraceMode::Full`] additionally forces the round barrier onto its
+/// serial dispatch path, because trace events must be recorded in canonical
+/// (sender-major) order: a traced execution trades wall-clock parallelism
+/// for the event log. Outputs, metrics and the ledger are bit-identical
+/// between the two modes — `tests/determinism_matrix.rs` pins this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No per-message recording: the trace stays empty (the default).
+    #[default]
+    Off,
+    /// Record every message event, storing up to
+    /// [`NetworkConfig::trace_capacity`](crate::engine::NetworkConfig::trace_capacity)
+    /// of them (further events are counted, not stored).
+    Full,
+}
+
 /// One recorded message delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {

@@ -1,8 +1,10 @@
 //! Determinism matrix: every LOCAL algorithm in `algorithms/` runs on three
-//! workload families with shard counts 1, 2 and 8, and every observable of
-//! the execution — program outputs, per-round/per-node message metrics, the
-//! per-edge/per-round message ledger, and the full message trace — must be
-//! bit-identical to the sequential (1-shard) engine. The `baselines/` constructions are covered by replay
+//! workload families with shard counts 1, 2 and 8 — under both trace modes,
+//! so the serial *and* the parallel receiver-sharded round barrier are each
+//! exercised — and every observable of the execution — program outputs,
+//! per-round/per-node message metrics, the per-edge/per-round message
+//! ledger, and the full message trace — must be bit-identical to the
+//! sequential (1-shard) engine. The `baselines/` constructions are covered by replay
 //! determinism: they drive their own deterministic processes (they do not
 //! run on the `Network`), so the property to pin down is that equal seeds
 //! reproduce equal outcomes regardless of what the engine is doing.
@@ -18,7 +20,8 @@ use freelunch::graph::generators::{
 };
 use freelunch::graph::{MultiGraph, NodeId};
 use freelunch::runtime::{
-    ExecutionMetrics, InitialKnowledge, MessageLedger, Network, NetworkConfig, NodeProgram, Trace,
+    Context, Envelope, ExecutionMetrics, InitialKnowledge, MessageLedger, Network, NetworkConfig,
+    NodeProgram, Trace, TraceMode,
 };
 use std::fmt::Debug;
 
@@ -56,38 +59,49 @@ where
     P: NodeProgram,
     O: PartialEq + Debug,
 {
-    let mut reference: Option<(Vec<O>, ExecutionMetrics, Trace, MessageLedger)> = None;
-    for shards in SHARD_COUNTS {
-        let config = NetworkConfig::with_seed(seed)
-            .traced(100_000)
-            .sharded(shards);
-        let mut network = Network::new(graph, config, factory).unwrap();
-        network
-            .run_until_halt(budget)
-            .unwrap_or_else(|e| panic!("{label}: did not halt at {shards} shards: {e}"));
-        let outputs: Vec<O> = network.programs().iter().map(&extract).collect();
-        let metrics = network.metrics().clone();
-        let trace = network.trace().clone();
-        let ledger = network.ledger().clone();
-        match &reference {
-            None => reference = Some((outputs, metrics, trace, ledger)),
-            Some((ref_outputs, ref_metrics, ref_trace, ref_ledger)) => {
-                assert_eq!(
-                    ref_outputs, &outputs,
-                    "{label}: outputs differ at {shards} shards"
-                );
-                assert_eq!(
-                    ref_metrics, &metrics,
-                    "{label}: message metrics differ at {shards} shards"
-                );
-                assert_eq!(
-                    ref_trace, &trace,
-                    "{label}: traces differ at {shards} shards"
-                );
-                assert_eq!(
-                    ref_ledger, &ledger,
-                    "{label}: message ledgers differ at {shards} shards"
-                );
+    // Both trace modes matter: `Full` pins the serial barrier (and the
+    // trace itself), `Off` pins the parallel receiver-sharded barrier the
+    // untraced hot path uses. Outputs, metrics and ledger must agree across
+    // *all* (mode × shard count) combinations; traces are compared within
+    // the Full mode.
+    let mut reference: Option<(Vec<O>, ExecutionMetrics, MessageLedger)> = None;
+    let mut trace_reference: Option<Trace> = None;
+    for trace_mode in [TraceMode::Full, TraceMode::Off] {
+        for shards in SHARD_COUNTS {
+            let config = NetworkConfig::with_seed(seed)
+                .traced(100_000)
+                .trace_mode(trace_mode)
+                .sharded(shards);
+            let mut network = Network::new(graph, config, factory).unwrap();
+            network.run_until_halt(budget).unwrap_or_else(|e| {
+                panic!("{label}: did not halt at {shards} shards ({trace_mode:?}): {e}")
+            });
+            let outputs: Vec<O> = network.programs().iter().map(&extract).collect();
+            let metrics = network.metrics().clone();
+            let ledger = network.ledger().clone();
+            let where_ = format!("{shards} shards ({trace_mode:?})");
+            match &reference {
+                None => reference = Some((outputs, metrics, ledger)),
+                Some((ref_outputs, ref_metrics, ref_ledger)) => {
+                    assert_eq!(ref_outputs, &outputs, "{label}: outputs differ at {where_}");
+                    assert_eq!(
+                        ref_metrics, &metrics,
+                        "{label}: message metrics differ at {where_}"
+                    );
+                    assert_eq!(
+                        ref_ledger, &ledger,
+                        "{label}: message ledgers differ at {where_}"
+                    );
+                }
+            }
+            if trace_mode == TraceMode::Full {
+                let trace = network.trace().clone();
+                match &trace_reference {
+                    None => trace_reference = Some(trace),
+                    Some(ref_trace) => {
+                        assert_eq!(ref_trace, &trace, "{label}: traces differ at {where_}")
+                    }
+                }
             }
         }
     }
@@ -164,6 +178,114 @@ fn maximal_matching_is_shard_invariant_and_valid() {
             &format!("matching/{name}"),
         );
         assert!(is_maximal_matching(&graph, &matched), "{name}");
+    }
+}
+
+/// A parity-pattern probe for the double-buffered mailboxes: every node
+/// broadcasts only in odd rounds, so inboxes must be non-empty exactly in
+/// even rounds. A stale message leaking from a reused (but undrained)
+/// mailbox buffer would surface as a non-empty inbox in an odd round — the
+/// program asserts the exact expected inbox size every round, across many
+/// rounds, which also pins down that messages are delivered exactly once.
+struct ParityPulse {
+    rounds: u32,
+    deliveries: u64,
+}
+
+impl NodeProgram for ParityPulse {
+    type Message = u32;
+
+    fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[Envelope<u32>]) {
+        let round = ctx.round();
+        if round % 2 == 1 {
+            assert!(
+                inbox.is_empty(),
+                "node {} saw {} stale message(s) in odd round {round}",
+                ctx.node(),
+                inbox.len()
+            );
+            ctx.broadcast(round);
+        } else {
+            assert_eq!(
+                inbox.len(),
+                ctx.degree(),
+                "node {} expected one message per incident edge in even round {round}",
+                ctx.node()
+            );
+            for envelope in inbox {
+                assert_eq!(envelope.payload, round - 1, "message from a wrong round");
+            }
+            self.deliveries += inbox.len() as u64;
+        }
+        if round >= self.rounds {
+            ctx.halt();
+        }
+    }
+}
+
+#[test]
+fn mailboxes_are_fully_drained_between_rounds() {
+    for (name, graph) in workloads() {
+        let mut reference: Option<Vec<u64>> = None;
+        for shards in SHARD_COUNTS {
+            let config = NetworkConfig::with_seed(6).sharded(shards);
+            let mut network = Network::new(&graph, config, |_, _| ParityPulse {
+                rounds: 8,
+                deliveries: 0,
+            })
+            .unwrap();
+            network.run_until_halt(9).unwrap();
+            // Four odd-round broadcast waves of 2m messages each, every one
+            // delivered exactly once.
+            let m = graph.edge_count() as u64;
+            assert_eq!(network.cost().messages, 4 * 2 * m, "{name}/{shards}");
+            let deliveries: Vec<u64> = network
+                .into_programs()
+                .into_iter()
+                .map(|p| p.deliveries)
+                .collect();
+            assert_eq!(deliveries.iter().sum::<u64>(), 4 * 2 * m, "{name}/{shards}");
+            match &reference {
+                None => reference = Some(deliveries),
+                Some(expected) => {
+                    assert_eq!(expected, &deliveries, "{name}: differs at {shards} shards")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_mode_off_changes_no_other_observable() {
+    for (name, graph) in workloads() {
+        for shards in SHARD_COUNTS {
+            let run = |mode: TraceMode| {
+                let config = NetworkConfig::with_seed(8)
+                    .traced(100_000)
+                    .trace_mode(mode)
+                    .sharded(shards);
+                let mut network = Network::new(&graph, config, |_, knowledge| {
+                    LubyMis::new(knowledge.degree())
+                })
+                .unwrap();
+                network.run_until_halt(300).unwrap();
+                let states: Vec<_> = network.programs().iter().map(LubyMis::state).collect();
+                (
+                    states,
+                    network.metrics().clone(),
+                    network.ledger().clone(),
+                    network.trace().total(),
+                )
+            };
+            let full = run(TraceMode::Full);
+            let off = run(TraceMode::Off);
+            assert_eq!(full.0, off.0, "{name}/{shards}: outputs differ");
+            assert_eq!(full.1, off.1, "{name}/{shards}: metrics differ");
+            assert_eq!(full.2, off.2, "{name}/{shards}: ledgers differ");
+            // The trace itself is the one observable TraceMode governs.
+            assert_eq!(full.3, full.1.total_messages(), "{name}/{shards}");
+            assert_eq!(off.3, 0, "{name}/{shards}");
+        }
     }
 }
 
