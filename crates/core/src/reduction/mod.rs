@@ -24,6 +24,12 @@
 //! [`MessageLedger`](freelunch_runtime::metrics::MessageLedger), and each report type
 //! exposes a phase-attributed [`Ledger`](crate::ledger::Ledger) with the
 //! measured free-lunch ratio — see `docs/METRICS.md` for the contract.
+//!
+//! Every emulated path also accepts a deterministic
+//! [`FaultPlan`](freelunch_runtime::fault::FaultPlan) through its
+//! `*_with_faults` / `*_under_faults` variants, so robustness comparisons
+//! against the baselines share one fault-accounting convention — see
+//! `docs/METRICS.md` §6.
 
 pub mod scheme;
 pub mod simulate;
@@ -31,6 +37,9 @@ pub mod tlocal;
 pub mod two_stage;
 
 pub use scheme::{SamplerScheme, SchemeReport};
-pub use simulate::{simulate_with_spanner, SimulationReport};
-pub use tlocal::{t_local_broadcast, BroadcastOutcome};
+pub use simulate::{simulate_with_spanner, simulate_with_spanner_under_faults, SimulationReport};
+pub use tlocal::{
+    flood_on_subgraph, flood_on_subgraph_with_faults, t_local_broadcast,
+    t_local_broadcast_with_faults, BroadcastOutcome,
+};
 pub use two_stage::{TwoStageReport, TwoStageScheme};

@@ -80,8 +80,9 @@
 //! ```
 
 use crate::error::{RuntimeError, RuntimeResult};
+use crate::fault::{FaultPlan, MessageFate, ResolvedFaultPlan};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
-use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
+use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, FaultCause, MessageLedger};
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
 use crate::trace::{Trace, TraceEvent, TraceMode};
 use freelunch_graph::{CsrGraph, MultiGraph, NodeId};
@@ -178,12 +179,9 @@ impl NetworkConfig {
 }
 
 /// Mixes the network seed with a node index into an independent per-node
-/// stream seed (splitmix64 finalizer).
+/// stream seed (the crate-wide splitmix64 finalizer).
 fn node_seed(seed: u64, node: usize) -> u64 {
-    let mut z = seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::fault::splitmix64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Reusable scratch of the parallel dispatch barrier: per-edge message and
@@ -291,6 +289,23 @@ pub struct Network<P: NodeProgram> {
     metrics: ExecutionMetrics,
     ledger: MessageLedger,
     scratch: Option<DispatchScratch>,
+    /// Installed fault plan, resolved to dense lookups. `None` on the
+    /// failure-free fast path — including when the caller passed an *empty*
+    /// plan, which is how "clean plan ≡ no plan" is byte-identical by
+    /// construction.
+    faults: Option<ResolvedFaultPlan>,
+    /// Per-node, per-port consecutive-silent-round counters surfaced as
+    /// [`Context::port_silence`]; maintained (and allocated) only under an
+    /// installed fault plan.
+    port_silence: Vec<Vec<u32>>,
+    /// Dense raw-edge-ID → `[port at endpoints[0], port at endpoints[1]]`
+    /// table (aligned with `edge_endpoints`), giving the silence update an
+    /// O(1) port lookup per delivered envelope. Built only under an
+    /// installed fault plan; empty otherwise.
+    edge_ports: Vec<[u32; 2]>,
+    /// Scratch buffer of the fault pre-pass (reused across rounds; empty and
+    /// untouched on the failure-free path).
+    fault_scratch: Vec<Outgoing<P::Message>>,
     trace: Trace,
     round: u32,
     initialized: bool,
@@ -313,6 +328,31 @@ impl<P: NodeProgram> Network<P> {
     pub fn new(
         graph: &MultiGraph,
         config: NetworkConfig,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        Network::with_fault_plan(graph, config, FaultPlan::none(), factory)
+    }
+
+    /// Builds a network like [`Network::new`], additionally subjecting the
+    /// execution to the given deterministic [`FaultPlan`].
+    ///
+    /// Installing the *empty* plan ([`FaultPlan::is_empty`]) is guaranteed
+    /// to be byte-identical to [`Network::new`]: the engine does no fault
+    /// work at all in that case. With a non-empty plan, every observable of
+    /// the execution remains bit-identical across shard counts and trace
+    /// modes at equal `(config.seed, plan.seed)` — see
+    /// [`fault`](crate::fault) for the keyed-stream construction behind
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph has no nodes, the shard count is zero,
+    /// a plan probability is outside `[0, 1]`, or the plan references an
+    /// unknown edge or node.
+    pub fn with_fault_plan(
+        graph: &MultiGraph,
+        config: NetworkConfig,
+        plan: FaultPlan,
         mut factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
     ) -> RuntimeResult<Self> {
         if graph.node_count() == 0 {
@@ -336,6 +376,43 @@ impl<P: NodeProgram> Network<P> {
             .collect();
         let node_count = graph.node_count();
         let ledger = MessageLedger::new(edge_slots);
+        // Validate before the emptiness shortcut: a plan with (say) a
+        // negative probability must be rejected, not silently treated as
+        // empty — the emulated `*_with_faults` paths reject it too.
+        plan.validate().map_err(RuntimeError::invalid_config)?;
+        let faults = if plan.is_empty() {
+            None
+        } else {
+            Some(
+                ResolvedFaultPlan::resolve(plan, edge_slots, node_count)
+                    .map_err(RuntimeError::invalid_config)?,
+            )
+        };
+        let (port_silence, edge_ports) = if faults.is_some() {
+            let silence = (0..node_count)
+                .map(|v| vec![0u32; csr.incident_edges(NodeId::from_usize(v)).len()])
+                .collect();
+            // Dense edge → (port at lower endpoint slot, port at higher
+            // slot) table aligned with `edge_endpoints`, so the silence
+            // update below resolves each envelope's port with one read
+            // instead of scanning the incidence slice.
+            let mut ports = vec![[u32::MAX; 2]; edge_slots];
+            for v in 0..node_count {
+                let me = v as u32;
+                for (port, incident) in csr.incident_edges(NodeId::from_usize(v)).iter().enumerate()
+                {
+                    let slot = if edge_endpoints[incident.edge.index()][0] == me {
+                        0
+                    } else {
+                        1
+                    };
+                    ports[incident.edge.index()][slot] = port as u32;
+                }
+            }
+            (silence, ports)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Ok(Network {
             csr,
             config,
@@ -353,6 +430,10 @@ impl<P: NodeProgram> Network<P> {
             metrics: ExecutionMetrics::new(node_count),
             ledger,
             scratch: None,
+            faults,
+            port_silence,
+            edge_ports,
+            fault_scratch: Vec::new(),
             trace: Trace::with_capacity(config.trace_capacity),
             round: 0,
             initialized: false,
@@ -431,6 +512,43 @@ impl<P: NodeProgram> Network<P> {
         self.in_flight
     }
 
+    /// The installed [`FaultPlan`], if any. `None` both when no plan was
+    /// installed and when an empty one was (the two are indistinguishable by
+    /// design: an empty plan injects nothing).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(ResolvedFaultPlan::plan)
+    }
+
+    /// Returns `true` if `node` has crashed by the current round (it no
+    /// longer participates; its program state is frozen at the pre-crash
+    /// value). Always `false` without a fault plan.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.crashed_at(node.index(), self.round))
+    }
+
+    /// The nodes that have crashed by the current round, in ascending order.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        match &self.faults {
+            None => Vec::new(),
+            Some(faults) => (0..self.programs.len())
+                .filter(|&v| faults.crashed_at(v, self.round))
+                .map(NodeId::from_usize)
+                .collect(),
+        }
+    }
+
+    /// Number of nodes that have crashed by the current round.
+    pub fn crashed_count(&self) -> usize {
+        match &self.faults {
+            None => 0,
+            Some(faults) => (0..self.programs.len())
+                .filter(|&v| faults.crashed_at(v, self.round))
+                .count(),
+        }
+    }
+
     /// Effective shard count: the configured value clamped to the node
     /// count (a shard with no nodes would be a useless thread).
     pub fn shard_count(&self) -> usize {
@@ -453,6 +571,8 @@ impl<P: NodeProgram> Network<P> {
         let knowledge = &self.knowledge;
         let edge_endpoints = &self.edge_endpoints;
         let inboxes = &self.inboxes;
+        let faults = self.faults.as_ref();
+        let port_silence = &self.port_silence;
 
         let step = |index: usize,
                     program: &mut P,
@@ -461,6 +581,16 @@ impl<P: NodeProgram> Network<P> {
                     halted: &mut bool|
          -> Option<RuntimeError> {
             outbox.clear();
+            if let Some(faults) = faults {
+                // A crashed node is never stepped: its program state stays
+                // frozen, it sends nothing, and it counts as halted so
+                // executions still terminate.
+                if faults.crashed_at(index, round) {
+                    *halted = true;
+                    return None;
+                }
+            }
+            let silence: &[u32] = port_silence.get(index).map_or(&[], Vec::as_slice);
             let mut ctx = Context::new(
                 &knowledge[index],
                 csr.incident_edges(NodeId::from_usize(index)),
@@ -468,6 +598,7 @@ impl<P: NodeProgram> Network<P> {
                 round,
                 rng,
                 outbox,
+                silence,
             );
             match phase {
                 Phase::Init => program.init(&mut ctx),
@@ -553,12 +684,15 @@ impl<P: NodeProgram> Network<P> {
         }
     }
 
-    /// Dispatch phase: the round barrier. Counts every outbox into the
+    /// Dispatch phase: the round barrier. Applies the fault plan's message
+    /// faults (a no-op without one), counts every surviving outbox into the
     /// metrics (sender-side, canonical node order), then delivers into the
     /// back mailbox buffer — serially when tracing or single-sharded,
-    /// receiver-sharded in parallel otherwise. All sends were validated at
-    /// send time, so this phase cannot fail.
+    /// receiver-sharded in parallel otherwise — and finally applies the
+    /// plan's delivery perturbation. All sends were validated at send time,
+    /// so this phase cannot fail.
     fn dispatch_phase(&mut self, round: u32) {
+        self.apply_message_faults(round);
         let mut round_total = 0u64;
         for (index, outbox) in self.outboxes.iter().enumerate() {
             let count = outbox.len() as u64;
@@ -575,6 +709,74 @@ impl<P: NodeProgram> Network<P> {
             self.dispatch_serial(round, traced);
         } else {
             self.dispatch_parallel(shards);
+        }
+        self.perturb_deliveries(round);
+    }
+
+    /// Fault pre-pass of the barrier: walks the outboxes in canonical
+    /// (sender, send) order and resolves each message's fate against the
+    /// installed plan — link cut and receiver-crash gates first, then the
+    /// keyed drop/duplicate stream. Survivors stay in the outboxes (in
+    /// order, duplicates adjacent to their originals), so the untouched
+    /// serial and parallel delivery paths below both see the same
+    /// post-fault message sequence; drops and duplications are attributed
+    /// to the ledger's fault column right here, in canonical order.
+    ///
+    /// No-op (and allocation-free) without a message-affecting plan —
+    /// `tests/fault_matrix.rs` pins the clean-plan ≡ no-plan guarantee and
+    /// the `fault_overhead` bench prices this gate.
+    fn apply_message_faults(&mut self, round: u32) {
+        let Some(faults) = &self.faults else { return };
+        if !faults.affects_messages() {
+            return;
+        }
+        let ledger = &mut self.ledger;
+        let scratch = &mut self.fault_scratch;
+        for outbox in self.outboxes.iter_mut() {
+            if outbox.is_empty() {
+                continue;
+            }
+            scratch.clear();
+            for (msg_index, outgoing) in outbox.drain(..).enumerate() {
+                if faults.link_cut_at(outgoing.edge.index(), round) {
+                    ledger.record_dropped(FaultCause::LinkCut);
+                    continue;
+                }
+                // A message sent in round r is read in round r + 1; a
+                // receiver crashed by then never processes it.
+                if faults.crashed_at(outgoing.receiver.index(), round + 1) {
+                    ledger.record_dropped(FaultCause::Crash);
+                    continue;
+                }
+                match faults.fate(round, outgoing.edge, outgoing.sender, msg_index as u32) {
+                    MessageFate::Deliver => scratch.push(outgoing),
+                    MessageFate::Drop => ledger.record_dropped(FaultCause::Random),
+                    MessageFate::Duplicate => {
+                        ledger.record_duplicated();
+                        scratch.push(outgoing.clone());
+                        scratch.push(outgoing);
+                    }
+                }
+            }
+            std::mem::swap(outbox, scratch);
+        }
+    }
+
+    /// Applies the plan's seeded delivery permutation to every freshly
+    /// filled mailbox. The mailboxes are in canonical order at this point
+    /// whatever the shard count or trace mode, and the permutation is keyed
+    /// by `(plan seed, round, receiver)` alone — so perturbed executions
+    /// stay bit-identical across shard counts, and the trace (recorded
+    /// before this step) keeps its canonical send order.
+    fn perturb_deliveries(&mut self, round: u32) {
+        let Some(faults) = &self.faults else { return };
+        if !faults.perturbs() {
+            return;
+        }
+        for (receiver, mailbox) in self.pending.iter_mut().enumerate() {
+            faults
+                .plan()
+                .perturb_mailbox(round, NodeId::from_usize(receiver), mailbox);
         }
     }
 
@@ -724,6 +926,37 @@ impl<P: NodeProgram> Network<P> {
         }
     }
 
+    /// Advances the per-port silence counters from this round's inboxes:
+    /// every counter ages by one round, then every port that delivered at
+    /// least one message this round resets to zero. Maintained only under a
+    /// fault plan (the per-node counter vectors are empty otherwise), purely
+    /// from the node's own inbox — so the counters are as shard-independent
+    /// as the inboxes themselves. The `edge_ports` table makes each
+    /// envelope's port lookup a single read.
+    fn update_port_silence(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        for (v, counters) in self.port_silence.iter_mut().enumerate() {
+            for counter in counters.iter_mut() {
+                *counter = counter.saturating_add(1);
+            }
+            let me = v as u32;
+            for envelope in &self.inboxes[v] {
+                let edge = envelope.edge.index();
+                let slot = if self.edge_endpoints[edge][0] == me {
+                    0
+                } else {
+                    1
+                };
+                let port = self.edge_ports[edge][slot] as usize;
+                if let Some(counter) = counters.get_mut(port) {
+                    *counter = 0;
+                }
+            }
+        }
+    }
+
     /// Runs the initialization phase (safe to call multiple times; only the
     /// first call has an effect). Messages sent during initialization are
     /// delivered in round 1 and counted in the round-0 slot of the metrics.
@@ -759,6 +992,7 @@ impl<P: NodeProgram> Network<P> {
         // (capacity kept) by the dispatch phase before it refills it.
         std::mem::swap(&mut self.inboxes, &mut self.pending);
         self.in_flight = 0;
+        self.update_port_silence();
         let round = self.round;
         if let Err(error) = self.execute_phase(round, Phase::Round) {
             // The barrier never ran, so the back buffer still holds the
@@ -976,25 +1210,46 @@ mod tests {
     }
 
     #[test]
-    fn invalid_send_aborts_before_any_delivery() {
-        /// Node 0 sends a valid message and then an invalid one.
-        struct HalfRogue;
+    fn invalid_send_aborts_before_any_delivery_and_network_stays_usable() {
+        /// Node 0 sends a valid message and then an invalid one — but only
+        /// in round 1, so the network can prove it survives the abort.
+        struct HalfRogue {
+            received: usize,
+        }
         impl NodeProgram for HalfRogue {
             type Message = ();
-            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
-                if ctx.node() == NodeId::new(0) {
+            fn round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
+                self.received += inbox.len();
+                if ctx.round() == 1 && ctx.node() == NodeId::new(0) {
                     ctx.send_port(0, ());
                     ctx.send(EdgeId::new(999), ());
                 }
+                if ctx.round() == 3 {
+                    ctx.broadcast(());
+                }
             }
         }
-        let graph = cycle(4);
-        let mut network = Network::new(&graph, NetworkConfig::default(), |_, _| HalfRogue).unwrap();
-        assert!(network.run_round().is_err());
-        // The round aborted at the barrier: nothing was delivered or
-        // counted, not even the valid send that preceded the invalid one.
-        assert_eq!(network.pending_messages(), 0);
-        assert_eq!(network.cost().messages, 0);
+        // Parallel dispatch coverage: PR 4's abort-at-the-barrier fix must
+        // hold on the receiver-sharded barrier too, not just serially.
+        for shards in [1usize, 2, 8] {
+            let graph = cycle(8);
+            let config = NetworkConfig::default().sharded(shards);
+            let mut network =
+                Network::new(&graph, config, |_, _| HalfRogue { received: 0 }).unwrap();
+            assert!(network.run_round().is_err(), "at {shards} shards");
+            // The round aborted at the barrier: nothing was delivered or
+            // counted, not even the valid send that preceded the invalid one.
+            assert_eq!(network.pending_messages(), 0, "at {shards} shards");
+            assert_eq!(network.cost().messages, 0, "at {shards} shards");
+            // The network is reusable: later rounds behave exactly as if
+            // round 1 had been silent.
+            network.run_rounds(3).unwrap(); // rounds 2-4
+            assert_eq!(network.cost().messages, 16, "at {shards} shards");
+            assert_eq!(network.pending_messages(), 0, "at {shards} shards");
+            let received: usize = network.programs().iter().map(|p| p.received).sum();
+            // Exactly the round-3 broadcasts arrived (in round 4).
+            assert_eq!(received, 16, "at {shards} shards");
+        }
     }
 
     #[test]
@@ -1017,8 +1272,10 @@ mod tests {
                 }
             }
         }
-        for shards in [1, 3] {
-            let graph = cycle(6);
+        // Shards 2 and 8 route the back buffer through the parallel
+        // barrier, pinning the back-buffer clearing on that path as well.
+        for shards in [1, 2, 8] {
+            let graph = cycle(12);
             let config = NetworkConfig::default().sharded(shards);
             let mut network =
                 Network::new(&graph, config, |_, _| FlakyRogue { seen: Vec::new() }).unwrap();
@@ -1390,6 +1647,334 @@ mod tests {
         assert!(network.all_halted());
         assert_eq!(network.pending_messages(), 0);
         assert_eq!(network.halted_count(), 3);
+    }
+
+    /// Runs `NoisyGossip` under a fault plan and returns every observable.
+    fn noisy_faulty_run(
+        graph: &MultiGraph,
+        shards: usize,
+        trace_mode: TraceMode,
+        plan: FaultPlan,
+    ) -> (Vec<u64>, ExecutionMetrics, Trace, MessageLedger) {
+        let config = NetworkConfig::with_seed(99)
+            .traced(10_000)
+            .trace_mode(trace_mode)
+            .sharded(shards);
+        let mut network =
+            Network::with_fault_plan(graph, config, plan, |_, _| NoisyGossip { sum: 0 }).unwrap();
+        network.run_until_halt(10).unwrap();
+        let metrics = network.metrics().clone();
+        let trace = network.trace().clone();
+        let ledger = network.ledger().clone();
+        let sums = network.into_programs().into_iter().map(|p| p.sum).collect();
+        (sums, metrics, trace, ledger)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        use freelunch_graph::generators::sparse_connected_erdos_renyi;
+        let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(61, 2), 5.0).unwrap();
+        for shards in [1, 4] {
+            let clean = noisy_faulty_run(&graph, shards, TraceMode::Full, FaultPlan::none());
+            let none = noisy_run(&graph, shards, TraceMode::Full);
+            assert_eq!(clean, none, "at {shards} shards");
+        }
+        // An empty plan is not even observable through the accessor.
+        let network = Network::with_fault_plan(
+            &graph,
+            NetworkConfig::default(),
+            FaultPlan::new(7),
+            |_, _| NoisyGossip { sum: 0 },
+        )
+        .unwrap();
+        assert!(network.fault_plan().is_none());
+    }
+
+    #[test]
+    fn faulty_execution_is_bit_identical_across_shards_and_trace_modes() {
+        use freelunch_graph::generators::sparse_connected_erdos_renyi;
+        let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(61, 2), 5.0).unwrap();
+        let plan = || {
+            FaultPlan::new(31)
+                .with_drop_probability(0.2)
+                .with_duplicate_probability(0.2)
+                .with_link_cut(EdgeId::new(3), 1)
+                .with_crash(NodeId::new(17), 2)
+                .with_delivery_perturbation()
+        };
+        let reference = noisy_faulty_run(&graph, 1, TraceMode::Full, plan());
+        assert!(reference.3.fault_totals().dropped > 0);
+        assert!(reference.3.fault_totals().duplicated > 0);
+        for trace_mode in [TraceMode::Full, TraceMode::Off] {
+            for shards in [1, 2, 8, 61] {
+                let faulty = noisy_faulty_run(&graph, shards, trace_mode, plan());
+                let where_ = format!("{shards} shards ({trace_mode:?})");
+                assert_eq!(reference.0, faulty.0, "outputs differ at {where_}");
+                assert_eq!(reference.1, faulty.1, "metrics differ at {where_}");
+                assert_eq!(reference.3, faulty.3, "ledgers differ at {where_}");
+                if trace_mode == TraceMode::Full {
+                    assert_eq!(reference.2, faulty.2, "traces differ at {where_}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_node_goes_silent_frozen_and_halted() {
+        let graph = cycle(6);
+        let plan = FaultPlan::new(1).with_crash(NodeId::new(3), 0);
+        let mut network =
+            Network::with_fault_plan(&graph, NetworkConfig::with_seed(1), plan, |node, _| {
+                Flood::new(node)
+            })
+            .unwrap();
+        network.run_until_halt(20).unwrap();
+        assert!(network.is_crashed(NodeId::new(3)));
+        assert_eq!(network.crashed_nodes(), vec![NodeId::new(3)]);
+        assert_eq!(network.crashed_count(), 1);
+        assert!(!network.is_crashed(NodeId::new(0)));
+        // The crashed node's program state is frozen at its initial value.
+        assert!(network.programs()[3].heard_in_round.is_none());
+        // Every live node still hears the token (the cycle minus one node is
+        // a path), and the two messages addressed to the crashed node are
+        // attributed as crash drops.
+        for v in [0usize, 1, 2, 4, 5] {
+            assert!(network.programs()[v].heard_in_round.is_some(), "node {v}");
+        }
+        let totals = network.ledger().fault_totals();
+        assert_eq!(totals.dropped_crash, 2);
+        assert_eq!(totals.dropped, 2);
+        assert_eq!(totals.duplicated, 0);
+    }
+
+    #[test]
+    fn link_cut_silences_both_directions_from_its_round() {
+        /// Broadcasts every round; counts arrivals per round.
+        struct Meter {
+            seen: Vec<usize>,
+        }
+        impl NodeProgram for Meter {
+            type Message = ();
+            fn init(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
+                self.seen.push(inbox.len());
+                if ctx.round() < 4 {
+                    ctx.broadcast(());
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        // Cut the cycle edge between nodes 0 and 1 from round 2 on.
+        let graph = cycle(4);
+        let plan = FaultPlan::new(0).with_link_cut(EdgeId::new(0), 2);
+        let mut network =
+            Network::with_fault_plan(&graph, NetworkConfig::default(), plan, |_, _| Meter {
+                seen: Vec::new(),
+            })
+            .unwrap();
+        network.run_until_halt(5).unwrap();
+        // Rounds 0 and 1 are unaffected (arrivals in rounds 1 and 2); the
+        // cut eats one message per direction in each of rounds 2 and 3.
+        assert_eq!(network.programs()[0].seen, vec![2, 2, 1, 1]);
+        assert_eq!(network.programs()[1].seen, vec![2, 2, 1, 1]);
+        assert_eq!(network.programs()[2].seen, vec![2, 2, 2, 2]);
+        let totals = network.ledger().fault_totals();
+        assert_eq!(totals.dropped_link_cut, 4);
+        assert_eq!(network.ledger().dropped_per_round(), &[0, 0, 2, 2, 0]);
+    }
+
+    #[test]
+    fn certain_duplication_doubles_every_delivery() {
+        let graph = cycle(4);
+        let plan = FaultPlan::new(5).with_duplicate_probability(1.0);
+        let mut network =
+            Network::with_fault_plan(&graph, NetworkConfig::with_seed(3), plan, |node, _| {
+                Flood::new(node)
+            })
+            .unwrap();
+        network.run_until_halt(10).unwrap();
+        // Every node broadcast exactly once (8 program sends); each message
+        // was duplicated, so 16 crossed the wire and the ledger counts them.
+        assert_eq!(network.cost().messages, 16);
+        assert_eq!(network.ledger().total_messages(), 16);
+        assert_eq!(network.ledger().fault_totals().duplicated, 8);
+        assert_eq!(network.ledger().fault_totals().dropped, 0);
+    }
+
+    #[test]
+    fn certain_drop_loses_everything() {
+        let graph = cycle(4);
+        let plan = FaultPlan::new(5).with_drop_probability(1.0);
+        let mut network =
+            Network::with_fault_plan(&graph, NetworkConfig::with_seed(3), plan, |node, _| {
+                Flood::new(node)
+            })
+            .unwrap();
+        // Only node 0 ever holds the token: nobody else hears anything, so
+        // the flood never completes within the budget.
+        assert!(network.run_until_halt(10).is_err());
+        assert_eq!(network.cost().messages, 0);
+        assert_eq!(network.ledger().total_messages(), 0);
+        let totals = network.ledger().fault_totals();
+        assert_eq!(totals.dropped, totals.dropped_random);
+        assert_eq!(totals.dropped, 2); // node 0's two init broadcasts
+        assert_eq!(network.halted_count(), 1); // node 0 halted after forwarding
+    }
+
+    #[test]
+    fn port_silence_observes_a_crashed_neighbor() {
+        /// Broadcasts every round and snapshots its port-silence counters.
+        struct SilenceWatcher {
+            last: Vec<u32>,
+        }
+        impl NodeProgram for SilenceWatcher {
+            type Message = ();
+            fn init(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                self.last = ctx.port_silence().to_vec();
+                if ctx.round() < 4 {
+                    ctx.broadcast(());
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        let graph = cycle(4);
+        let plan = FaultPlan::new(0).with_crash(NodeId::new(2), 0);
+        let mut network =
+            Network::with_fault_plan(&graph, NetworkConfig::default(), plan, |_, _| {
+                SilenceWatcher { last: Vec::new() }
+            })
+            .unwrap();
+        network.run_until_halt(5).unwrap();
+        // Node 1's ports: port 0 towards node 0 (chatty), port 1 towards the
+        // crashed node 2 — silent since round 1, so by round 4 its counter
+        // has aged 4 times without ever resetting.
+        assert_eq!(network.programs()[1].last, vec![0, 4]);
+        // Node 0 has two live neighbors: all-zero silence.
+        assert_eq!(network.programs()[0].last, vec![0, 0]);
+        // Without a fault plan the instrumentation is off entirely.
+        let mut clean = Network::new(&graph, NetworkConfig::default(), |_, _| SilenceWatcher {
+            last: Vec::new(),
+        })
+        .unwrap();
+        clean.run_until_halt(5).unwrap();
+        assert!(clean.programs()[1].last.is_empty());
+    }
+
+    #[test]
+    fn delivery_perturbation_reorders_but_preserves_content() {
+        /// Records the sender order of its inbox each round.
+        struct OrderProbe {
+            orders: Vec<Vec<u32>>,
+        }
+        impl NodeProgram for OrderProbe {
+            type Message = ();
+            fn init(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Envelope<()>]) {
+                self.orders
+                    .push(inbox.iter().map(|e| e.from.raw()).collect());
+                if ctx.round() < 3 {
+                    ctx.broadcast(());
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        let graph = complete_like(6);
+        let run = |plan: FaultPlan| {
+            let mut network =
+                Network::with_fault_plan(&graph, NetworkConfig::with_seed(2), plan, |_, _| {
+                    OrderProbe { orders: Vec::new() }
+                })
+                .unwrap();
+            network.run_until_halt(5).unwrap();
+            let metrics = network.metrics().clone();
+            (
+                network
+                    .into_programs()
+                    .into_iter()
+                    .map(|p| p.orders)
+                    .collect::<Vec<_>>(),
+                metrics,
+            )
+        };
+        let clean = run(FaultPlan::none());
+        let perturbed = run(FaultPlan::new(9).with_delivery_perturbation());
+        let perturbed_again = run(FaultPlan::new(9).with_delivery_perturbation());
+        // Same seed, same permutations — and message counts are untouched.
+        assert_eq!(perturbed, perturbed_again);
+        assert_eq!(clean.1, perturbed.1);
+        // Orders differ somewhere, but each inbox holds the same senders.
+        assert_ne!(clean.0, perturbed.0);
+        for (node, (c, p)) in clean.0.iter().zip(perturbed.0.iter()).enumerate() {
+            for (round, (co, po)) in c.iter().zip(p.iter()).enumerate() {
+                let mut cs = co.clone();
+                let mut ps = po.clone();
+                cs.sort_unstable();
+                ps.sort_unstable();
+                assert_eq!(cs, ps, "node {node} round {round}");
+            }
+        }
+    }
+
+    /// Complete graph on `n` nodes built directly (dense inboxes make the
+    /// perturbation test meaningful).
+    fn complete_like(n: u32) -> MultiGraph {
+        let mut graph = MultiGraph::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                graph.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+            }
+        }
+        graph
+    }
+
+    #[test]
+    fn fault_plan_validation_happens_at_construction() {
+        let graph = cycle(4);
+        let bad_probability = FaultPlan::new(0).with_drop_probability(1.5);
+        assert!(Network::with_fault_plan(
+            &graph,
+            NetworkConfig::default(),
+            bad_probability,
+            |node, _| { Flood::new(node) }
+        )
+        .is_err());
+        // A negative probability makes `is_empty()` true; validation must
+        // still reject it rather than shortcut to the failure-free path
+        // (the emulated `*_with_faults` paths reject the same plan).
+        let negative = FaultPlan::new(0).with_drop_probability(-0.5);
+        assert!(negative.is_empty());
+        assert!(
+            Network::with_fault_plan(&graph, NetworkConfig::default(), negative, |node, _| {
+                Flood::new(node)
+            })
+            .is_err()
+        );
+        let unknown_edge = FaultPlan::new(0).with_link_cut(EdgeId::new(99), 0);
+        assert!(Network::with_fault_plan(
+            &graph,
+            NetworkConfig::default(),
+            unknown_edge,
+            |node, _| { Flood::new(node) }
+        )
+        .is_err());
+        let unknown_node = FaultPlan::new(0).with_crash(NodeId::new(99), 0);
+        assert!(Network::with_fault_plan(
+            &graph,
+            NetworkConfig::default(),
+            unknown_node,
+            |node, _| { Flood::new(node) }
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! variants. The runtime supports all three so that baselines stated for
 //! other variants (e.g. gossip schemes, KT1 leader election) can be compared
 //! under their own assumptions.
+//!
+//! Fault injection ([`crate::fault`]) deliberately does **not** extend
+//! initial knowledge: a node is never told which neighbors will crash or
+//! which links will be cut. Crash state is observable only the way the
+//! fault-tolerance literature allows — through silence, surfaced per port by
+//! [`Context::port_silence`](crate::node::Context::port_silence) — and
+//! post-hoc through the [`Network`](crate::engine::Network) node APIs
+//! (`is_crashed`, `crashed_nodes`), which exist for harnesses and invariant
+//! checkers rather than for the programs themselves.
 
 use freelunch_graph::{EdgeId, NodeId, Topology};
 use serde::{Deserialize, Serialize};

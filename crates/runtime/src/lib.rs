@@ -22,6 +22,13 @@
 //! per-round message counts with payload byte sizing, the workspace-wide
 //! meter specified in `docs/METRICS.md`.
 //!
+//! Executions can additionally be subjected to a deterministic, seeded
+//! [`FaultPlan`] — message drops, duplications, link cuts, node crashes and
+//! delivery-order perturbation, all resolved from a ChaCha stream keyed per
+//! message so faulty runs keep every bit-identity guarantee of clean ones.
+//! See [`fault`] for the model and `docs/METRICS.md` for how dropped and
+//! duplicated traffic is accounted.
+//!
 //! Messages move through a zero-allocation, double-buffered mailbox plane:
 //! sends are resolved (validated, receiver looked up) at send time, every
 //! buffer is reused across rounds, and per-message trace recording is
@@ -70,6 +77,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod knowledge;
 pub mod metrics;
 pub mod node;
@@ -77,7 +85,10 @@ pub mod trace;
 
 pub use engine::{Network, NetworkConfig};
 pub use error::{RuntimeError, RuntimeResult};
+pub use fault::{CrashSchedule, FaultPlan, LinkCut, MessageFate};
 pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
-pub use metrics::{edge_slot_count, CostReport, ExecutionMetrics, MessageLedger};
+pub use metrics::{
+    edge_slot_count, CostReport, ExecutionMetrics, FaultCause, FaultTotals, MessageLedger,
+};
 pub use node::{Context, Envelope, NodeProgram};
 pub use trace::{Trace, TraceEvent, TraceMode};

@@ -151,6 +151,36 @@ pub fn edge_slot_count(edges: impl IntoIterator<Item = EdgeId>) -> usize {
     edges.into_iter().map(|e| e.index() + 1).max().unwrap_or(0)
 }
 
+/// Why a message injected with a fault was dropped (the attribution recorded
+/// in the [`MessageLedger`]'s fault-accounting column; see `docs/METRICS.md`
+/// §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// Dropped by the per-message drop probability of the fault plan.
+    Random,
+    /// Dropped because its edge was cut.
+    LinkCut,
+    /// Dropped because its receiver had crashed.
+    Crash,
+}
+
+/// Aggregate fault-accounting totals of a [`MessageLedger`] (all zero for a
+/// failure-free execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTotals {
+    /// Messages dropped, over all causes.
+    pub dropped: u64,
+    /// Messages duplicated (each duplicate also appears in the ordinary
+    /// per-edge / per-round counts, because it really crossed the edge).
+    pub duplicated: u64,
+    /// Drops attributed to the random per-message drop probability.
+    pub dropped_random: u64,
+    /// Drops attributed to link cuts.
+    pub dropped_link_cut: u64,
+    /// Drops attributed to receiver crashes.
+    pub dropped_crash: u64,
+}
+
 /// The message-complexity ledger: per-edge and per-round message counts plus
 /// payload byte sizing (a CONGEST-style bandwidth view of the execution).
 ///
@@ -202,6 +232,25 @@ pub struct MessageLedger {
     /// Congestion per round slot: the maximum number of messages carried by
     /// any single edge within that slot.
     max_edge_messages_per_round: Vec<u64>,
+    /// Fault column: messages dropped by fault injection in each round slot
+    /// (all causes). Always all-zero for failure-free executions; the
+    /// `serde(default)` keeps ledgers recorded before the column existed
+    /// deserializable.
+    #[serde(default)]
+    dropped_per_round: Vec<u64>,
+    /// Fault column: messages duplicated by fault injection in each round
+    /// slot.
+    #[serde(default)]
+    duplicated_per_round: Vec<u64>,
+    /// Fault column: total drops attributed to [`FaultCause::Random`].
+    #[serde(default)]
+    dropped_random: u64,
+    /// Fault column: total drops attributed to [`FaultCause::LinkCut`].
+    #[serde(default)]
+    dropped_link_cut: u64,
+    /// Fault column: total drops attributed to [`FaultCause::Crash`].
+    #[serde(default)]
+    dropped_crash: u64,
     /// Scratch: per-edge counts within the current round slot only. Not part
     /// of the serialized contract.
     #[serde(skip)]
@@ -222,7 +271,8 @@ impl Default for MessageLedger {
 }
 
 /// Equality covers exactly the serialized contract (per-edge and per-round
-/// counts, bytes, congestion). The `#[serde(skip)]` scratch is excluded: the
+/// counts, bytes, congestion, and the fault-accounting column). The
+/// `#[serde(skip)]` scratch is excluded: the
 /// engine's parallel round barrier discovers the edges touched in a round in
 /// worker order, so the scratch's *insertion order* can differ between a
 /// serial and a sharded dispatch of the same execution even though every
@@ -234,6 +284,11 @@ impl PartialEq for MessageLedger {
             && self.messages_per_round == other.messages_per_round
             && self.bytes_per_round == other.bytes_per_round
             && self.max_edge_messages_per_round == other.max_edge_messages_per_round
+            && self.dropped_per_round == other.dropped_per_round
+            && self.duplicated_per_round == other.duplicated_per_round
+            && self.dropped_random == other.dropped_random
+            && self.dropped_link_cut == other.dropped_link_cut
+            && self.dropped_crash == other.dropped_crash
     }
 }
 
@@ -250,6 +305,11 @@ impl MessageLedger {
             messages_per_round: vec![0],
             bytes_per_round: vec![0],
             max_edge_messages_per_round: vec![0],
+            dropped_per_round: vec![0],
+            duplicated_per_round: vec![0],
+            dropped_random: 0,
+            dropped_link_cut: 0,
+            dropped_crash: 0,
             round_edge_counts: vec![0; edge_slots],
             touched: Vec::new(),
         }
@@ -264,6 +324,8 @@ impl MessageLedger {
         self.messages_per_round.push(0);
         self.bytes_per_round.push(0);
         self.max_edge_messages_per_round.push(0);
+        self.dropped_per_round.push(0);
+        self.duplicated_per_round.push(0);
     }
 
     /// Records one message of `payload_bytes` bytes crossing the edge with
@@ -322,6 +384,54 @@ impl MessageLedger {
     /// of [`MessageLedger::record`].
     pub fn record_edge(&mut self, edge: EdgeId, payload_bytes: u64) {
         self.record(edge.index(), payload_bytes);
+    }
+
+    /// Records that fault injection dropped one message in the current round
+    /// slot, attributed to `cause`. Dropped messages appear *only* here —
+    /// they never reach the per-edge or per-round delivery counters.
+    pub fn record_dropped(&mut self, cause: FaultCause) {
+        *self
+            .dropped_per_round
+            .last_mut()
+            .expect("at least one round slot exists") += 1;
+        match cause {
+            FaultCause::Random => self.dropped_random += 1,
+            FaultCause::LinkCut => self.dropped_link_cut += 1,
+            FaultCause::Crash => self.dropped_crash += 1,
+        }
+    }
+
+    /// Records that fault injection duplicated one message in the current
+    /// round slot. The duplicate itself is additionally recorded through the
+    /// ordinary [`MessageLedger::record`] path by whoever delivers it, since
+    /// it really crosses the edge.
+    pub fn record_duplicated(&mut self) {
+        *self
+            .duplicated_per_round
+            .last_mut()
+            .expect("at least one round slot exists") += 1;
+    }
+
+    /// Fault column: messages dropped by fault injection in each round slot.
+    pub fn dropped_per_round(&self) -> &[u64] {
+        &self.dropped_per_round
+    }
+
+    /// Fault column: messages duplicated by fault injection in each round
+    /// slot.
+    pub fn duplicated_per_round(&self) -> &[u64] {
+        &self.duplicated_per_round
+    }
+
+    /// Aggregate fault totals (all zero for a failure-free execution).
+    pub fn fault_totals(&self) -> FaultTotals {
+        FaultTotals {
+            dropped: self.dropped_per_round.iter().sum(),
+            duplicated: self.duplicated_per_round.iter().sum(),
+            dropped_random: self.dropped_random,
+            dropped_link_cut: self.dropped_link_cut,
+            dropped_crash: self.dropped_crash,
+        }
     }
 
     /// Number of per-edge counter slots.
@@ -517,6 +627,38 @@ mod tests {
         assert_eq!(ledger.total_bytes(), 0);
         assert_eq!(ledger.max_congestion(), 0);
         assert_eq!(ledger.summary(), CostReport::zero());
+    }
+
+    #[test]
+    fn fault_column_accumulates_and_distinguishes_causes() {
+        let mut ledger = MessageLedger::new(2);
+        assert_eq!(ledger.fault_totals(), FaultTotals::default());
+        ledger.record_dropped(FaultCause::Random);
+        ledger.start_round();
+        ledger.record_dropped(FaultCause::LinkCut);
+        ledger.record_dropped(FaultCause::Crash);
+        ledger.record_dropped(FaultCause::Crash);
+        ledger.record_duplicated();
+        ledger.record(0, 4); // delivered traffic is independent of the column
+        ledger.record(0, 4);
+
+        assert_eq!(ledger.dropped_per_round(), &[1, 3]);
+        assert_eq!(ledger.duplicated_per_round(), &[0, 1]);
+        let totals = ledger.fault_totals();
+        assert_eq!(totals.dropped, 4);
+        assert_eq!(totals.duplicated, 1);
+        assert_eq!(totals.dropped_random, 1);
+        assert_eq!(totals.dropped_link_cut, 1);
+        assert_eq!(totals.dropped_crash, 2);
+        // Drops never reach the delivery counters.
+        assert_eq!(ledger.total_messages(), 2);
+        assert_eq!(ledger.messages_per_edge(), &[2, 0]);
+        // The column participates in the serialized-contract equality.
+        let mut other = MessageLedger::new(2);
+        other.start_round();
+        other.record(0, 4);
+        other.record(0, 4);
+        assert_ne!(ledger, other);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! bit-identical across shard counts {1, 2, 8} at equal seeds.
 
 use freelunch::algorithms::BallGathering;
-use freelunch::baselines::{direct_flooding, gossip_broadcast};
+use freelunch::baselines::{direct_flooding, gossip_broadcast, BaswanaSen, ClusterSpanner};
 use freelunch::core::reduction::tlocal::TOKEN_BYTES;
 use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
 use freelunch::graph::{MultiGraph, NodeId};
@@ -155,6 +155,102 @@ fn gossip_on_the_star_funnels_through_the_center() {
         .messages_per_edge()
         .iter()
         .all(|&c| c >= 2 * outcome.cost.rounds));
+}
+
+#[test]
+fn baswana_sen_k1_counts_exactly_on_the_hand_graphs() {
+    // k = 1 skips every clustering phase and performs only the final
+    // cluster-joining wave: one communication wave in which every edge
+    // carries one 4-byte cluster ID per direction. Exactly 2m messages,
+    // 8m bytes, ledger round slots [0, 2m] — on any graph, any seed.
+    for (label, graph) in [("path", path4()), ("star", star4()), ("k4", k4())] {
+        for seed in [0u64, 7] {
+            let m = graph.edge_count() as u64;
+            let outcome = BaswanaSen::new(1).unwrap().run(&graph, seed).unwrap();
+            let ledger = &outcome.ledger;
+            assert_eq!(outcome.cost.messages, 2 * m, "{label} seed={seed}");
+            assert_eq!(outcome.cost.rounds, 2, "{label} seed={seed}");
+            assert_eq!(ledger.rounds(), 1, "{label} seed={seed}");
+            assert_eq!(ledger.messages_per_round(), &[0, 2 * m][..], "{label}");
+            assert_eq!(
+                ledger.messages_per_edge(),
+                &vec![2u64; m as usize][..],
+                "{label} seed={seed}"
+            );
+            assert_eq!(ledger.max_congestion(), 2, "{label}");
+            assert_eq!(ledger.total_bytes(), 4 * 2 * m, "{label}");
+            assert_eq!(ledger.summary().messages, outcome.cost.messages, "{label}");
+            assert_eq!(ledger.fault_totals().dropped, 0, "{label}");
+        }
+    }
+}
+
+#[test]
+fn baswana_sen_k2_first_wave_touches_every_edge_of_k4() {
+    // k = 2 on K4: wave 1 (the clustering phase) always meters every one of
+    // the 6 edges twice — 12 messages — whatever the sampling does; wave 2
+    // (the joining phase) can only touch surviving edges. Rounds: 3 for the
+    // clustering phase + 2 for the final phase.
+    let graph = k4();
+    for seed in [1u64, 5, 9] {
+        let outcome = BaswanaSen::new(2).unwrap().run(&graph, seed).unwrap();
+        let ledger = &outcome.ledger;
+        assert_eq!(outcome.cost.rounds, 5, "seed={seed}");
+        assert_eq!(ledger.rounds(), 2, "seed={seed}");
+        assert_eq!(ledger.messages_per_round()[0], 0, "seed={seed}");
+        assert_eq!(ledger.messages_per_round()[1], 12, "seed={seed}");
+        assert!(ledger.messages_per_round()[2] <= 12, "seed={seed}");
+        assert_eq!(
+            ledger.total_messages(),
+            12 + ledger.messages_per_round()[2],
+            "seed={seed}"
+        );
+        assert_eq!(
+            outcome.cost.messages,
+            ledger.total_messages(),
+            "seed={seed}"
+        );
+        // Every message is one 4-byte cluster ID; per wave an edge carries
+        // at most one message per direction.
+        assert_eq!(
+            ledger.total_bytes(),
+            4 * ledger.total_messages(),
+            "seed={seed}"
+        );
+        assert_eq!(ledger.max_congestion(), 2, "seed={seed}");
+    }
+}
+
+#[test]
+fn derbel_cluster_spanner_counts_exactly_on_the_hand_graphs() {
+    // The Derbel-style direct execution is fully deterministic in the
+    // meter: radius + 2 rounds, every edge carrying one 4-byte token per
+    // direction per round. On path/star (m = 3) with ρ = 1 that is 3 rounds
+    // × 6 messages; on K4 (m = 6), 3 rounds × 12.
+    for (label, graph) in [("path", path4()), ("star", star4()), ("k4", k4())] {
+        let m = graph.edge_count() as u64;
+        for radius in [1u32, 2] {
+            let rounds = u64::from(radius) + 2;
+            let outcome = ClusterSpanner::new(radius).unwrap().run(&graph, 3).unwrap();
+            let ledger = &outcome.ledger;
+            let case = format!("{label} radius={radius}");
+            assert_eq!(outcome.cost.rounds, rounds, "{case}");
+            assert_eq!(outcome.cost.messages, 2 * m * rounds, "{case}");
+            assert_eq!(ledger.rounds(), rounds, "{case}");
+            let mut expected_rounds = vec![0u64];
+            expected_rounds.extend(std::iter::repeat_n(2 * m, rounds as usize));
+            assert_eq!(ledger.messages_per_round(), &expected_rounds[..], "{case}");
+            assert_eq!(
+                ledger.messages_per_edge(),
+                &vec![2 * rounds; m as usize][..],
+                "{case}"
+            );
+            assert_eq!(ledger.max_congestion(), 2, "{case}");
+            assert_eq!(ledger.total_bytes(), 4 * outcome.cost.messages, "{case}");
+            assert_eq!(ledger.summary(), outcome.cost, "{case}");
+            assert_eq!(ledger.fault_totals().dropped, 0, "{case}");
+        }
+    }
 }
 
 /// Runs `BallGathering` for two rounds and returns the engine's ledger.
