@@ -60,6 +60,15 @@ impl NodeProgram for BallGathering {
             ctx.halt();
         }
     }
+
+    /// Each gathered ID costs 4 bytes — exactly the `Vec<u32>` wire
+    /// encoding (4 little-endian bytes per element) and the 4-byte token
+    /// convention of the emulated broadcast paths. The default sizing would
+    /// charge `size_of::<Vec<u32>>()` (the header), independent of the
+    /// bundle length.
+    fn payload_bytes(message: &Vec<u32>) -> u64 {
+        4 * message.len() as u64
+    }
 }
 
 #[cfg(test)]

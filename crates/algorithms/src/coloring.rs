@@ -5,6 +5,7 @@
 //! its remaining palette and keeps it if no uncolored neighbor proposed the
 //! same color; colored neighbors' colors are removed from the palette.
 
+use freelunch_runtime::transport::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
 use freelunch_runtime::{Context, Envelope, NodeProgram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,32 @@ pub enum ColoringMessage {
     Proposal(u32),
     /// Final color adopted by the sender.
     Final(u32),
+}
+
+/// Wire encoding: a tag byte (0 = `Proposal`, 1 = `Final`) plus the color
+/// as 4 little-endian bytes, zero-padded to `size_of::<ColoringMessage>()`
+/// so the encoded length equals the program's default `payload_bytes`.
+impl WireCodec for ColoringMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        let (tag, color) = match self {
+            ColoringMessage::Proposal(color) => (0, color),
+            ColoringMessage::Final(color) => (1, color),
+        };
+        buf.push(tag);
+        buf.extend_from_slice(&color.to_le_bytes());
+        pad_to_size(buf, start, std::mem::size_of::<ColoringMessage>());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        check_size_and_padding(bytes, 5, std::mem::size_of::<ColoringMessage>())?;
+        let color = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+        match bytes[0] {
+            0 => Ok(ColoringMessage::Proposal(color)),
+            1 => Ok(ColoringMessage::Final(color)),
+            tag => Err(CodecError::InvalidTag { tag }),
+        }
+    }
 }
 
 /// The per-node program.

@@ -8,6 +8,7 @@
 //! neighbors stop proposing to them.
 
 use freelunch_graph::EdgeId;
+use freelunch_runtime::transport::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
 use freelunch_runtime::{Context, Envelope, NodeProgram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,31 @@ pub enum MatchingMessage {
     Accept,
     /// The sender is matched; stop proposing to it.
     Retired,
+}
+
+/// Wire encoding: a single tag byte (0 = `Propose`, 1 = `Accept`,
+/// 2 = `Retired`), padded to `size_of::<MatchingMessage>()` so the encoded
+/// length equals the program's default `payload_bytes`.
+impl WireCodec for MatchingMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.push(match self {
+            MatchingMessage::Propose => 0,
+            MatchingMessage::Accept => 1,
+            MatchingMessage::Retired => 2,
+        });
+        pad_to_size(buf, start, std::mem::size_of::<MatchingMessage>());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        check_size_and_padding(bytes, 1, std::mem::size_of::<MatchingMessage>())?;
+        match bytes[0] {
+            0 => Ok(MatchingMessage::Propose),
+            1 => Ok(MatchingMessage::Accept),
+            2 => Ok(MatchingMessage::Retired),
+            tag => Err(CodecError::InvalidTag { tag }),
+        }
+    }
 }
 
 /// The per-node program.

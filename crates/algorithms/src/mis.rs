@@ -8,6 +8,7 @@
 //! two communication rounds here (priority exchange, then membership
 //! announcement).
 
+use freelunch_runtime::transport::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
 use freelunch_runtime::{Context, Envelope, NodeProgram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -33,6 +34,50 @@ pub enum MisMessage {
     /// Announcement that the sender is out (its edges can be ignored from
     /// now on).
     Retired,
+}
+
+/// Wire encoding: a tag byte (0 = `Priority`, 1 = `Joined`, 2 = `Retired`),
+/// the priority as 8 little-endian bytes when present, zero-padded to
+/// `size_of::<MisMessage>()` so the encoded length equals the program's
+/// default `payload_bytes`.
+impl WireCodec for MisMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        match self {
+            MisMessage::Priority(priority) => {
+                buf.push(0);
+                buf.extend_from_slice(&priority.to_le_bytes());
+            }
+            MisMessage::Joined => buf.push(1),
+            MisMessage::Retired => buf.push(2),
+        }
+        pad_to_size(buf, start, std::mem::size_of::<MisMessage>());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        const SIZE: usize = std::mem::size_of::<MisMessage>();
+        match bytes.first() {
+            Some(0) => {
+                check_size_and_padding(bytes, 9, SIZE)?;
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&bytes[1..9]);
+                Ok(MisMessage::Priority(u64::from_le_bytes(raw)))
+            }
+            Some(1) => {
+                check_size_and_padding(bytes, 1, SIZE)?;
+                Ok(MisMessage::Joined)
+            }
+            Some(2) => {
+                check_size_and_padding(bytes, 1, SIZE)?;
+                Ok(MisMessage::Retired)
+            }
+            Some(&tag) => Err(CodecError::InvalidTag { tag }),
+            None => Err(CodecError::Truncated {
+                needed: SIZE,
+                got: 0,
+            }),
+        }
+    }
 }
 
 /// Luby's MIS as a node program.

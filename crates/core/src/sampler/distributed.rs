@@ -23,6 +23,7 @@
 use super::NodeClass;
 use crate::params::SamplerParams;
 use freelunch_graph::EdgeId;
+use freelunch_runtime::transport::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
 use freelunch_runtime::{Context, Envelope, InitialKnowledge, NodeProgram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -42,6 +43,37 @@ pub enum Level0Message {
     Join,
     /// Acknowledgement of a join.
     Ack,
+}
+
+/// Wire encoding: one tag byte folding the `Reply` payload into the tag
+/// (0 = `Query`, 1 = `Reply { is_center: false }`,
+/// 2 = `Reply { is_center: true }`, 3 = `Join`, 4 = `Ack`), padded to
+/// `size_of::<Level0Message>()` so the encoded length equals the program's
+/// default `payload_bytes`.
+impl WireCodec for Level0Message {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.push(match self {
+            Level0Message::Query => 0,
+            Level0Message::Reply { is_center: false } => 1,
+            Level0Message::Reply { is_center: true } => 2,
+            Level0Message::Join => 3,
+            Level0Message::Ack => 4,
+        });
+        pad_to_size(buf, start, std::mem::size_of::<Level0Message>());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        check_size_and_padding(bytes, 1, std::mem::size_of::<Level0Message>())?;
+        match bytes[0] {
+            0 => Ok(Level0Message::Query),
+            1 => Ok(Level0Message::Reply { is_center: false }),
+            2 => Ok(Level0Message::Reply { is_center: true }),
+            3 => Ok(Level0Message::Join),
+            4 => Ok(Level0Message::Ack),
+            tag => Err(CodecError::InvalidTag { tag }),
+        }
+    }
 }
 
 /// Concrete numeric configuration of the level-0 protocol, derived from

@@ -48,6 +48,20 @@
 //! runs the barrier serially so events appear in canonical order — see
 //! [`TraceMode`].
 //!
+//! # Pluggable transports
+//!
+//! The barrier's delivery step is a [`Transport`]: the default
+//! [`InProcessTransport`] is the zero-allocation double-buffered plane
+//! described above, [`TcpTransport`](crate::transport::TcpTransport) runs
+//! the same execution across processes, and
+//! [`MockTransport`](crate::transport::MockTransport) is a wire-faithful
+//! test double. Routing, fault injection, sender-side metrics and the
+//! run-loop live here and are backend-independent; every backend upholds
+//! the bit-identity contract of `docs/TRANSPORT.md`, so the *same* program,
+//! workload and seed produce the same outputs, [`ExecutionMetrics`] and
+//! [`MessageLedger`] on all of them. Build a network on a non-default
+//! backend with [`Network::with_transport`].
+//!
 //! ```
 //! use freelunch_graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
 //! use freelunch_runtime::{Context, Envelope, Network, NetworkConfig, NodeProgram};
@@ -84,12 +98,13 @@ use crate::fault::{FaultPlan, MessageFate, ResolvedFaultPlan};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
 use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, FaultCause, MessageLedger};
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
-use crate::trace::{Trace, TraceEvent, TraceMode};
+use crate::trace::{Trace, TraceMode};
+use crate::transport::{InProcessTransport, RoundBarrier, Transport};
 use freelunch_graph::{CsrGraph, MultiGraph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::ops::Range;
 
 /// Configuration of a synchronous execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,34 +199,6 @@ fn node_seed(seed: u64, node: usize) -> u64 {
     crate::fault::splitmix64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Reusable scratch of the parallel dispatch barrier: per-edge message and
-/// byte accumulators shared by the receiver-sharded workers (each message
-/// is counted by exactly one worker; an edge can be touched by at most the
-/// two workers owning its endpoints, hence the atomics) plus one touched
-/// list per worker. A worker appends an edge to its touched list exactly
-/// when its `fetch_add` is the first of the round for that edge, so the
-/// lists partition the touched edge set and the barrier can merge and reset
-/// in `O(edges touched)`, never `O(m)`.
-///
-/// Allocated once, on the first parallel dispatch; cleared — not freed — at
-/// every merge.
-#[derive(Debug)]
-struct DispatchScratch {
-    edge_counts: Vec<AtomicU32>,
-    edge_bytes: Vec<AtomicU64>,
-    touched: Vec<Vec<u32>>,
-}
-
-impl DispatchScratch {
-    fn new(edge_slots: usize, shards: usize) -> Self {
-        DispatchScratch {
-            edge_counts: (0..edge_slots).map(|_| AtomicU32::new(0)).collect(),
-            edge_bytes: (0..edge_slots).map(|_| AtomicU64::new(0)).collect(),
-            touched: (0..shards).map(|_| Vec::new()).collect(),
-        }
-    }
-}
-
 /// A synchronous network executing one program instance per node.
 ///
 /// # Examples
@@ -250,7 +237,10 @@ impl DispatchScratch {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Network<P: NodeProgram> {
+pub struct Network<
+    P: NodeProgram,
+    T: Transport<<P as NodeProgram>::Message> = InProcessTransport<<P as NodeProgram>::Message>,
+> {
     /// Frozen CSR view of the communication graph: packed incidence arrays
     /// whose per-node slices double as the contexts' port tables. The
     /// network never needs the mutable [`MultiGraph`] after construction,
@@ -274,21 +264,20 @@ pub struct Network<P: NodeProgram> {
     /// Per-node outboxes, written by the execute phase and drained by the
     /// dispatch phase; reused across rounds.
     outboxes: Vec<Vec<Outgoing<P::Message>>>,
-    /// Bucket exchange of the parallel barrier, row-major:
-    /// `buckets[e * shards + r]` holds the messages nodes of execute shard
-    /// `e` sent to receivers of shard `r`, in canonical (node, send) order.
-    /// Empty until the first parallel dispatch; reused afterwards.
-    buckets: Vec<Vec<Outgoing<P::Message>>>,
-    /// Transposed view of `buckets` during delivery (column-major), so each
-    /// receiver shard's worker can take a contiguous `&mut` slice of its
-    /// column. Only `Vec` headers move between the two layouts.
-    bucket_scratch: Vec<Vec<Outgoing<P::Message>>>,
-    /// Number of messages sent but not yet delivered — maintained at the
-    /// barrier so [`Network::pending_messages`] is `O(1)`.
+    /// The delivery backend the round barrier hands its outboxes to.
+    transport: T,
+    /// The contiguous node range this engine steps locally
+    /// ([`Transport::owned_range`]); the full range on single-process
+    /// backends.
+    owned: Range<usize>,
+    /// Halted nodes outside `owned`, as reported by the transport at the
+    /// last barrier (always 0 on single-process backends).
+    remote_halted: usize,
+    /// Number of messages sent but not yet delivered, network-wide —
+    /// maintained at the barrier so [`Network::pending_messages`] is `O(1)`.
     in_flight: usize,
     metrics: ExecutionMetrics,
     ledger: MessageLedger,
-    scratch: Option<DispatchScratch>,
     /// Installed fault plan, resolved to dense lookups. `None` on the
     /// failure-free fast path — including when the caller passed an *empty*
     /// plan, which is how "clean plan ≡ no plan" is byte-identical by
@@ -353,6 +342,32 @@ impl<P: NodeProgram> Network<P> {
         graph: &MultiGraph,
         config: NetworkConfig,
         plan: FaultPlan,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        Network::with_transport(graph, config, plan, InProcessTransport::new(), factory)
+    }
+}
+
+impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
+    /// Builds a network like [`Network::with_fault_plan`] on an explicit
+    /// delivery backend — this is how an execution is put on the TCP or
+    /// mock transport (see [`transport`](crate::transport)).
+    ///
+    /// The engine steps only the nodes of the transport's
+    /// [`Transport::owned_range`]; programs outside it are constructed (so
+    /// every rank derives identical initial knowledge) but never stepped.
+    ///
+    /// # Errors
+    ///
+    /// Returns every error [`Network::with_fault_plan`] can, plus an
+    /// invalid-config error if the config demands
+    /// [`TraceMode::Full`] on a backend whose
+    /// [`Transport::supports_tracing`] is `false`.
+    pub fn with_transport(
+        graph: &MultiGraph,
+        config: NetworkConfig,
+        plan: FaultPlan,
+        transport: T,
         mut factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
     ) -> RuntimeResult<Self> {
         if graph.node_count() == 0 {
@@ -364,6 +379,20 @@ impl<P: NodeProgram> Network<P> {
             return Err(RuntimeError::invalid_config(
                 "the shard count must be at least 1",
             ));
+        }
+        if config.trace_mode == TraceMode::Full && !transport.supports_tracing() {
+            return Err(RuntimeError::invalid_config(
+                "this transport backend cannot record canonical-order traces \
+                 (TraceMode::Full); run traced executions on the in-process backend",
+            ));
+        }
+        let owned = transport.owned_range(graph.node_count());
+        if owned.start > owned.end || owned.end > graph.node_count() {
+            return Err(RuntimeError::invalid_config(format!(
+                "the transport claims node range {owned:?}, which is not within the \
+                 {}-node graph",
+                graph.node_count()
+            )));
         }
         let csr = graph.freeze();
         let knowledge = initial_knowledge(&csr, config.knowledge, config.log_n_slack);
@@ -424,12 +453,12 @@ impl<P: NodeProgram> Network<P> {
             inboxes: (0..node_count).map(|_| Vec::new()).collect(),
             pending: (0..node_count).map(|_| Vec::new()).collect(),
             outboxes: (0..node_count).map(|_| Vec::new()).collect(),
-            buckets: Vec::new(),
-            bucket_scratch: Vec::new(),
+            transport,
+            owned,
+            remote_halted: 0,
             in_flight: 0,
             metrics: ExecutionMetrics::new(node_count),
             ledger,
-            scratch: None,
             faults,
             port_silence,
             edge_ports,
@@ -456,14 +485,38 @@ impl<P: NodeProgram> Network<P> {
         self.round
     }
 
-    /// Returns `true` once every node has called [`Context::halt`].
+    /// Returns `true` once every node has called [`Context::halt`]. On a
+    /// distributed backend, nodes outside the owned range count through the
+    /// halt totals the transport exchanges at each barrier.
     pub fn all_halted(&self) -> bool {
-        self.halted.iter().all(|&h| h)
+        self.halted_count() == self.programs.len()
     }
 
-    /// Number of nodes that have halted so far.
+    /// Number of nodes that have halted so far (network-wide; remote nodes
+    /// are counted as of the last barrier).
     pub fn halted_count(&self) -> usize {
-        self.halted.iter().filter(|&&h| h).count()
+        self.halted[self.owned.clone()]
+            .iter()
+            .filter(|&&h| h)
+            .count()
+            + self.remote_halted
+    }
+
+    /// The contiguous node range this engine steps locally — the transport's
+    /// [`Transport::owned_range`]; every node on single-process backends.
+    pub fn owned_nodes(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+
+    /// The delivery backend.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the delivery backend (e.g. to read a
+    /// [`MockTransport`](crate::transport::MockTransport)'s frame log).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// Immutable access to all node programs (indexed by node).
@@ -549,10 +602,11 @@ impl<P: NodeProgram> Network<P> {
         }
     }
 
-    /// Effective shard count: the configured value clamped to the node
-    /// count (a shard with no nodes would be a useless thread).
+    /// Effective shard count: the configured value clamped to the number of
+    /// locally owned nodes (a shard with no nodes would be a useless
+    /// thread).
     pub fn shard_count(&self) -> usize {
-        self.config.shards.min(self.programs.len()).max(1)
+        self.config.shards.min(self.owned.len()).max(1)
     }
 
     /// Execute phase: steps every program once (init or round) against its
@@ -616,33 +670,32 @@ impl<P: NodeProgram> Network<P> {
             error
         };
 
+        let owned = self.owned.clone();
         let mut first_error: Option<RuntimeError> = None;
         if shards == 1 {
-            for (index, (((program, rng), outbox), halted)) in self
-                .programs
+            for (offset, (((program, rng), outbox), halted)) in self.programs[owned.clone()]
                 .iter_mut()
-                .zip(self.rngs.iter_mut())
-                .zip(self.outboxes.iter_mut())
-                .zip(self.halted.iter_mut())
+                .zip(self.rngs[owned.clone()].iter_mut())
+                .zip(self.outboxes[owned.clone()].iter_mut())
+                .zip(self.halted[owned.clone()].iter_mut())
                 .enumerate()
             {
-                let error = step(index, program, rng, outbox, halted);
+                let error = step(owned.start + offset, program, rng, outbox, halted);
                 if first_error.is_none() {
                     first_error = error;
                 }
             }
         } else {
-            let chunk = self.programs.len().div_ceil(shards);
+            let chunk = owned.len().div_ceil(shards);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .programs
+                let handles: Vec<_> = self.programs[owned.clone()]
                     .chunks_mut(chunk)
-                    .zip(self.rngs.chunks_mut(chunk))
-                    .zip(self.outboxes.chunks_mut(chunk))
-                    .zip(self.halted.chunks_mut(chunk))
+                    .zip(self.rngs[owned.clone()].chunks_mut(chunk))
+                    .zip(self.outboxes[owned.clone()].chunks_mut(chunk))
+                    .zip(self.halted[owned.clone()].chunks_mut(chunk))
                     .enumerate()
                     .map(|(shard, (((programs, rngs), outboxes), halted))| {
-                        let base = shard * chunk;
+                        let base = owned.start + shard * chunk;
                         let step = &step;
                         scope.spawn(move || {
                             let mut shard_error: Option<RuntimeError> = None;
@@ -686,12 +739,12 @@ impl<P: NodeProgram> Network<P> {
 
     /// Dispatch phase: the round barrier. Applies the fault plan's message
     /// faults (a no-op without one), counts every surviving outbox into the
-    /// metrics (sender-side, canonical node order), then delivers into the
-    /// back mailbox buffer — serially when tracing or single-sharded,
-    /// receiver-sharded in parallel otherwise — and finally applies the
-    /// plan's delivery perturbation. All sends were validated at send time,
-    /// so this phase cannot fail.
-    fn dispatch_phase(&mut self, round: u32) {
+    /// metrics (sender-side, canonical node order), then hands the outboxes
+    /// to the [`Transport`] to deliver into the back mailbox buffer, and
+    /// finally applies the plan's delivery perturbation. All sends were
+    /// validated at send time, so on the in-process backend this phase
+    /// cannot fail; wire backends can surface transport errors.
+    fn dispatch_phase(&mut self, round: u32) -> RuntimeResult<()> {
         self.apply_message_faults(round);
         let mut round_total = 0u64;
         for (index, outbox) in self.outboxes.iter().enumerate() {
@@ -701,16 +754,25 @@ impl<P: NodeProgram> Network<P> {
             }
             round_total += count;
         }
-        self.in_flight = round_total as usize;
 
         let shards = self.shard_count();
         let traced = self.config.trace_mode == TraceMode::Full;
-        if shards == 1 || traced || round_total == 0 {
-            self.dispatch_serial(round, traced);
-        } else {
-            self.dispatch_parallel(shards);
-        }
+        let outcome = self.transport.deliver(RoundBarrier {
+            round,
+            shards,
+            traced,
+            local_sent: round_total,
+            halted: &self.halted,
+            outboxes: &mut self.outboxes,
+            mailboxes: &mut self.pending,
+            metrics: &mut self.metrics,
+            ledger: &mut self.ledger,
+            trace: &mut self.trace,
+        })?;
+        self.in_flight = outcome.delivered as usize;
+        self.remote_halted = outcome.remote_halted;
         self.perturb_deliveries(round);
+        Ok(())
     }
 
     /// Fault pre-pass of the barrier: walks the outboxes in canonical
@@ -780,152 +842,6 @@ impl<P: NodeProgram> Network<P> {
         }
     }
 
-    /// Serial delivery in canonical (sender-major) order; the only path
-    /// that records trace events, because they must appear in that order.
-    /// Outboxes are drained, so payloads move without cloning.
-    fn dispatch_serial(&mut self, round: u32, traced: bool) {
-        let pending = &mut self.pending;
-        let ledger = &mut self.ledger;
-        let trace = &mut self.trace;
-        for mailbox in pending.iter_mut() {
-            mailbox.clear();
-        }
-        for outbox in self.outboxes.iter_mut() {
-            for outgoing in outbox.drain(..) {
-                ledger.record(outgoing.edge.index(), outgoing.bytes);
-                if traced {
-                    trace.record(TraceEvent {
-                        round,
-                        from: outgoing.sender,
-                        to: outgoing.receiver,
-                        edge: outgoing.edge,
-                    });
-                }
-                pending[outgoing.receiver.index()].push(Envelope {
-                    edge: outgoing.edge,
-                    from: outgoing.sender,
-                    payload: outgoing.payload,
-                });
-            }
-        }
-    }
-
-    /// Receiver-sharded parallel delivery, as a two-step bucket exchange:
-    ///
-    /// 1. *Route* — the execute-phase node shards drain their outboxes into
-    ///    per-(sender shard × receiver shard) buckets, so every message is
-    ///    copied once and each receiver shard's messages end up in exactly
-    ///    `shards` buckets, already in canonical (node, send) order.
-    /// 2. *Deliver* — worker `k` owns the contiguous receiver range of
-    ///    shard `k`; it drains its bucket column in ascending sender-shard
-    ///    order (payloads move, never clone), filling each mailbox in
-    ///    exactly the order the serial path produces.
-    ///
-    /// Per-edge ledger partials accumulate in the shared atomic scratch
-    /// (sums — order-independent) and are merged into the [`MessageLedger`]
-    /// when the barrier closes, in `O(edges touched this round)`. Unlike a
-    /// naive scan-all barrier (every worker reading every outbox), total
-    /// memory traffic is `O(messages)` regardless of the shard count.
-    fn dispatch_parallel(&mut self, shards: usize) {
-        let edge_slots = self.ledger.edge_slots();
-        let scratch = self
-            .scratch
-            .get_or_insert_with(|| DispatchScratch::new(edge_slots, shards));
-        if self.buckets.is_empty() {
-            self.buckets.resize_with(shards * shards, Vec::new);
-            self.bucket_scratch.resize_with(shards * shards, Vec::new);
-        }
-        let chunk = self.pending.len().div_ceil(shards);
-
-        // Route: node-sharded workers bucket their outboxes by receiver
-        // shard. Buckets are empty here (drained by the previous delivery).
-        std::thread::scope(|scope| {
-            for (outboxes, row) in self
-                .outboxes
-                .chunks_mut(chunk)
-                .zip(self.buckets.chunks_mut(shards))
-            {
-                scope.spawn(move || {
-                    for outbox in outboxes {
-                        for outgoing in outbox.drain(..) {
-                            row[outgoing.receiver.index() / chunk].push(outgoing);
-                        }
-                    }
-                });
-            }
-        });
-
-        // Transpose to column-major so each delivery worker can borrow its
-        // receiver shard's column as one contiguous slice (header moves
-        // only, no message is copied).
-        for sender_shard in 0..shards {
-            for receiver_shard in 0..shards {
-                self.bucket_scratch[receiver_shard * shards + sender_shard] =
-                    std::mem::take(&mut self.buckets[sender_shard * shards + receiver_shard]);
-            }
-        }
-
-        // Deliver: receiver-sharded workers drain their columns.
-        let edge_counts = &scratch.edge_counts;
-        let edge_bytes = &scratch.edge_bytes;
-        std::thread::scope(|scope| {
-            for (((shard, mailboxes), column), touched) in self
-                .pending
-                .chunks_mut(chunk)
-                .enumerate()
-                .zip(self.bucket_scratch.chunks_mut(shards))
-                .zip(scratch.touched.iter_mut())
-            {
-                let lo = shard * chunk;
-                scope.spawn(move || {
-                    for mailbox in mailboxes.iter_mut() {
-                        mailbox.clear();
-                    }
-                    for bucket in column {
-                        for outgoing in bucket.drain(..) {
-                            let edge = outgoing.edge.index();
-                            // First toucher of the round claims the edge for
-                            // its merge list; the lists partition the
-                            // touched set.
-                            if edge_counts[edge].fetch_add(1, Ordering::Relaxed) == 0 {
-                                touched.push(edge as u32);
-                            }
-                            edge_bytes[edge].fetch_add(outgoing.bytes, Ordering::Relaxed);
-                            mailboxes[outgoing.receiver.index() - lo].push(Envelope {
-                                edge: outgoing.edge,
-                                from: outgoing.sender,
-                                payload: outgoing.payload,
-                            });
-                        }
-                    }
-                });
-            }
-        });
-
-        // Return the (empty, capacity-bearing) buckets to row-major for the
-        // next round's route step.
-        for sender_shard in 0..shards {
-            for receiver_shard in 0..shards {
-                self.buckets[sender_shard * shards + receiver_shard] = std::mem::take(
-                    &mut self.bucket_scratch[receiver_shard * shards + sender_shard],
-                );
-            }
-        }
-        // Merge the partials in canonical shard order. Each touched edge
-        // appears in exactly one list and its accumulators hold the full
-        // round totals by now, so one `record_bulk` per edge reproduces the
-        // serial ledger bit for bit.
-        for touched in scratch.touched.iter_mut() {
-            for &edge in touched.iter() {
-                let edge = edge as usize;
-                let count = u64::from(edge_counts[edge].swap(0, Ordering::Relaxed));
-                let bytes = edge_bytes[edge].swap(0, Ordering::Relaxed);
-                self.ledger.record_bulk(edge, count, bytes);
-            }
-            touched.clear();
-        }
-    }
-
     /// Advances the per-port silence counters from this round's inboxes:
     /// every counter ages by one round, then every port that delivered at
     /// least one message this round resets to zero. Maintained only under a
@@ -970,7 +886,7 @@ impl<P: NodeProgram> Network<P> {
             return Ok(());
         }
         self.execute_phase(0, Phase::Init)?;
-        self.dispatch_phase(0);
+        self.dispatch_phase(0)?;
         self.initialized = true;
         Ok(())
     }
@@ -1004,8 +920,7 @@ impl<P: NodeProgram> Network<P> {
             }
             return Err(error);
         }
-        self.dispatch_phase(round);
-        Ok(())
+        self.dispatch_phase(round)
     }
 
     /// Runs exactly `rounds` synchronous rounds.

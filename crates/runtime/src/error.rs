@@ -32,6 +32,13 @@ pub enum RuntimeError {
         /// Description of the violated requirement.
         reason: String,
     },
+    /// A transport backend failed: connection setup, a read/write timeout,
+    /// a desynchronized or malformed frame, or a wire-codec violation (see
+    /// `docs/TRANSPORT.md` for the contract each message names).
+    Transport {
+        /// Description of the failure, naming the peer/frame where known.
+        reason: String,
+    },
     /// An error surfaced from the graph substrate.
     Graph(freelunch_graph::GraphError),
 }
@@ -50,6 +57,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "execution did not halt within {budget} rounds")
             }
             RuntimeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RuntimeError::Transport { reason } => write!(f, "transport error: {reason}"),
             RuntimeError::Graph(err) => write!(f, "graph error: {err}"),
         }
     }
@@ -74,6 +82,13 @@ impl RuntimeError {
     /// Convenience constructor for [`RuntimeError::InvalidConfig`].
     pub fn invalid_config(reason: impl Into<String>) -> Self {
         RuntimeError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`RuntimeError::Transport`].
+    pub fn transport(reason: impl Into<String>) -> Self {
+        RuntimeError::Transport {
             reason: reason.into(),
         }
     }

@@ -82,6 +82,7 @@ pub mod knowledge;
 pub mod metrics;
 pub mod node;
 pub mod trace;
+pub mod transport;
 
 pub use engine::{Network, NetworkConfig};
 pub use error::{RuntimeError, RuntimeResult};
@@ -90,5 +91,9 @@ pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
 pub use metrics::{
     edge_slot_count, CostReport, ExecutionMetrics, FaultCause, FaultTotals, MessageLedger,
 };
-pub use node::{Context, Envelope, NodeProgram};
+pub use node::{Context, Envelope, NodeProgram, Outgoing};
 pub use trace::{Trace, TraceEvent, TraceMode};
+pub use transport::{
+    BarrierOutcome, CodecError, Disturbance, FrameRecord, InProcessTransport, MockTransport,
+    RoundBarrier, TcpConfig, TcpTransport, Transport, WireCodec,
+};

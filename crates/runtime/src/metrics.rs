@@ -390,14 +390,25 @@ impl MessageLedger {
     /// slot, attributed to `cause`. Dropped messages appear *only* here —
     /// they never reach the per-edge or per-round delivery counters.
     pub fn record_dropped(&mut self, cause: FaultCause) {
+        self.record_dropped_bulk(cause, 1);
+    }
+
+    /// Records `count` fault-injected drops attributed to `cause` in the
+    /// current round slot — the bulk form a distributed transport uses to
+    /// merge a peer rank's fault column (sums, so merging is
+    /// order-independent like [`MessageLedger::record_bulk`]).
+    pub fn record_dropped_bulk(&mut self, cause: FaultCause, count: u64) {
+        if count == 0 {
+            return;
+        }
         *self
             .dropped_per_round
             .last_mut()
-            .expect("at least one round slot exists") += 1;
+            .expect("at least one round slot exists") += count;
         match cause {
-            FaultCause::Random => self.dropped_random += 1,
-            FaultCause::LinkCut => self.dropped_link_cut += 1,
-            FaultCause::Crash => self.dropped_crash += 1,
+            FaultCause::Random => self.dropped_random += count,
+            FaultCause::LinkCut => self.dropped_link_cut += count,
+            FaultCause::Crash => self.dropped_crash += count,
         }
     }
 
@@ -406,10 +417,20 @@ impl MessageLedger {
     /// ordinary [`MessageLedger::record`] path by whoever delivers it, since
     /// it really crosses the edge.
     pub fn record_duplicated(&mut self) {
+        self.record_duplicated_bulk(1);
+    }
+
+    /// Records `count` fault-injected duplications in the current round slot
+    /// (bulk form of [`MessageLedger::record_duplicated`], for merging a
+    /// peer rank's fault column).
+    pub fn record_duplicated_bulk(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
         *self
             .duplicated_per_round
             .last_mut()
-            .expect("at least one round slot exists") += 1;
+            .expect("at least one round slot exists") += count;
     }
 
     /// Fault column: messages dropped by fault injection in each round slot.

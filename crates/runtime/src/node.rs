@@ -30,12 +30,25 @@ pub struct Envelope<M> {
 /// no per-message graph work at all. `bytes` is the
 /// [`NodeProgram::payload_bytes`] wire size, filled in by the engine on the
 /// shard worker thread right after the program's step returns.
+///
+/// This is the unit of work a [`Transport`](crate::transport::Transport)
+/// backend receives at the round barrier: the engine hands each backend the
+/// per-node outboxes of resolved `Outgoing` messages, and the backend is
+/// responsible for moving every payload into the receiver's mailbox (see
+/// `docs/TRANSPORT.md` for the delivery contract).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Outgoing<M> {
+pub struct Outgoing<M> {
+    /// The edge the message travels over.
     pub edge: EdgeId,
+    /// The sending node.
     pub sender: NodeId,
+    /// The receiving node (resolved at send time).
     pub receiver: NodeId,
+    /// Wire size of the payload per [`NodeProgram::payload_bytes`]. For a
+    /// wire transport this must equal the encoded length byte for byte —
+    /// the codec/`payload_bytes` equivalence rule of `docs/TRANSPORT.md`.
     pub bytes: u64,
+    /// The message payload.
     pub payload: M,
 }
 

@@ -1,0 +1,260 @@
+//! The default backend: the zero-allocation in-process message plane.
+//!
+//! This is the double-buffered fast path the engine has always used, moved
+//! byte-for-byte behind the [`Transport`] trait: payloads move by value
+//! from outbox to mailbox (never serialized, never cloned), all exchange
+//! buffers are allocated once and reused, and the parallel path is the
+//! receiver-sharded bucket exchange described in `docs/PERF.md` §2.
+
+use super::{BarrierOutcome, RoundBarrier, Transport};
+use crate::error::RuntimeResult;
+use crate::node::{Envelope, Outgoing};
+use crate::trace::TraceEvent;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Reusable scratch of the parallel dispatch barrier: per-edge message and
+/// byte accumulators shared by the receiver-sharded workers (each message
+/// is counted by exactly one worker; an edge can be touched by at most the
+/// two workers owning its endpoints, hence the atomics) plus one touched
+/// list per worker. A worker appends an edge to its touched list exactly
+/// when its `fetch_add` is the first of the round for that edge, so the
+/// lists partition the touched edge set and the barrier can merge and reset
+/// in `O(edges touched)`, never `O(m)`.
+///
+/// Allocated once, on the first parallel dispatch; cleared — not freed — at
+/// every merge.
+#[derive(Debug)]
+struct DispatchScratch {
+    edge_counts: Vec<AtomicU32>,
+    edge_bytes: Vec<AtomicU64>,
+    touched: Vec<Vec<u32>>,
+}
+
+impl DispatchScratch {
+    fn new(edge_slots: usize, shards: usize) -> Self {
+        DispatchScratch {
+            edge_counts: (0..edge_slots).map(|_| AtomicU32::new(0)).collect(),
+            edge_bytes: (0..edge_slots).map(|_| AtomicU64::new(0)).collect(),
+            touched: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// The in-process delivery backend (the default `Network` transport).
+///
+/// Serial delivery when single-sharded, traced, or silent; the
+/// receiver-sharded parallel bucket exchange otherwise. Every buffer is
+/// reused across rounds, so steady-state rounds allocate nothing.
+pub struct InProcessTransport<M> {
+    /// Bucket exchange of the parallel barrier, row-major:
+    /// `buckets[e * shards + r]` holds the messages nodes of execute shard
+    /// `e` sent to receivers of shard `r`, in canonical (node, send) order.
+    /// Empty until the first parallel dispatch; reused afterwards.
+    buckets: Vec<Vec<Outgoing<M>>>,
+    /// Transposed view of `buckets` during delivery (column-major), so each
+    /// receiver shard's worker can take a contiguous `&mut` slice of its
+    /// column. Only `Vec` headers move between the two layouts.
+    bucket_scratch: Vec<Vec<Outgoing<M>>>,
+    scratch: Option<DispatchScratch>,
+}
+
+impl<M> fmt::Debug for InProcessTransport<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InProcessTransport")
+            .field("buckets", &self.buckets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Default for InProcessTransport<M> {
+    fn default() -> Self {
+        InProcessTransport::new()
+    }
+}
+
+impl<M> InProcessTransport<M> {
+    /// Creates the backend (no buffers are allocated until the first
+    /// parallel dispatch).
+    pub fn new() -> Self {
+        InProcessTransport {
+            buckets: Vec::new(),
+            bucket_scratch: Vec::new(),
+            scratch: None,
+        }
+    }
+
+    /// Serial delivery in canonical (sender-major) order; the only path
+    /// that records trace events, because they must appear in that order.
+    /// Outboxes are drained, so payloads move without cloning.
+    fn deliver_serial(&mut self, b: RoundBarrier<'_, M>) {
+        let RoundBarrier {
+            round,
+            traced,
+            outboxes,
+            mailboxes,
+            ledger,
+            trace,
+            ..
+        } = b;
+        for mailbox in mailboxes.iter_mut() {
+            mailbox.clear();
+        }
+        for outbox in outboxes.iter_mut() {
+            for outgoing in outbox.drain(..) {
+                ledger.record(outgoing.edge.index(), outgoing.bytes);
+                if traced {
+                    trace.record(TraceEvent {
+                        round,
+                        from: outgoing.sender,
+                        to: outgoing.receiver,
+                        edge: outgoing.edge,
+                    });
+                }
+                mailboxes[outgoing.receiver.index()].push(Envelope {
+                    edge: outgoing.edge,
+                    from: outgoing.sender,
+                    payload: outgoing.payload,
+                });
+            }
+        }
+    }
+}
+
+impl<M: Send + Sync> InProcessTransport<M> {
+    /// Receiver-sharded parallel delivery, as a two-step bucket exchange:
+    ///
+    /// 1. *Route* — the execute-phase node shards drain their outboxes into
+    ///    per-(sender shard × receiver shard) buckets, so every message is
+    ///    copied once and each receiver shard's messages end up in exactly
+    ///    `shards` buckets, already in canonical (node, send) order.
+    /// 2. *Deliver* — worker `k` owns the contiguous receiver range of
+    ///    shard `k`; it drains its bucket column in ascending sender-shard
+    ///    order (payloads move, never clone), filling each mailbox in
+    ///    exactly the order the serial path produces.
+    ///
+    /// Per-edge ledger partials accumulate in the shared atomic scratch
+    /// (sums — order-independent) and are merged into the ledger when the
+    /// barrier closes, in `O(edges touched this round)`. Unlike a naive
+    /// scan-all barrier (every worker reading every outbox), total memory
+    /// traffic is `O(messages)` regardless of the shard count.
+    fn deliver_parallel(&mut self, b: RoundBarrier<'_, M>) {
+        let RoundBarrier {
+            shards,
+            outboxes,
+            mailboxes,
+            ledger,
+            ..
+        } = b;
+        let edge_slots = ledger.edge_slots();
+        let scratch = self
+            .scratch
+            .get_or_insert_with(|| DispatchScratch::new(edge_slots, shards));
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(shards * shards, Vec::new);
+            self.bucket_scratch.resize_with(shards * shards, Vec::new);
+        }
+        let chunk = mailboxes.len().div_ceil(shards);
+
+        // Route: node-sharded workers bucket their outboxes by receiver
+        // shard. Buckets are empty here (drained by the previous delivery).
+        std::thread::scope(|scope| {
+            for (outboxes, row) in outboxes
+                .chunks_mut(chunk)
+                .zip(self.buckets.chunks_mut(shards))
+            {
+                scope.spawn(move || {
+                    for outbox in outboxes {
+                        for outgoing in outbox.drain(..) {
+                            row[outgoing.receiver.index() / chunk].push(outgoing);
+                        }
+                    }
+                });
+            }
+        });
+
+        // Transpose to column-major so each delivery worker can borrow its
+        // receiver shard's column as one contiguous slice (header moves
+        // only, no message is copied).
+        for sender_shard in 0..shards {
+            for receiver_shard in 0..shards {
+                self.bucket_scratch[receiver_shard * shards + sender_shard] =
+                    std::mem::take(&mut self.buckets[sender_shard * shards + receiver_shard]);
+            }
+        }
+
+        // Deliver: receiver-sharded workers drain their columns.
+        let edge_counts = &scratch.edge_counts;
+        let edge_bytes = &scratch.edge_bytes;
+        std::thread::scope(|scope| {
+            for (((shard, mailboxes), column), touched) in mailboxes
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(self.bucket_scratch.chunks_mut(shards))
+                .zip(scratch.touched.iter_mut())
+            {
+                let lo = shard * chunk;
+                scope.spawn(move || {
+                    for mailbox in mailboxes.iter_mut() {
+                        mailbox.clear();
+                    }
+                    for bucket in column {
+                        for outgoing in bucket.drain(..) {
+                            let edge = outgoing.edge.index();
+                            // First toucher of the round claims the edge for
+                            // its merge list; the lists partition the
+                            // touched set.
+                            if edge_counts[edge].fetch_add(1, Ordering::Relaxed) == 0 {
+                                touched.push(edge as u32);
+                            }
+                            edge_bytes[edge].fetch_add(outgoing.bytes, Ordering::Relaxed);
+                            mailboxes[outgoing.receiver.index() - lo].push(Envelope {
+                                edge: outgoing.edge,
+                                from: outgoing.sender,
+                                payload: outgoing.payload,
+                            });
+                        }
+                    }
+                });
+            }
+        });
+
+        // Return the (empty, capacity-bearing) buckets to row-major for the
+        // next round's route step.
+        for sender_shard in 0..shards {
+            for receiver_shard in 0..shards {
+                self.buckets[sender_shard * shards + receiver_shard] = std::mem::take(
+                    &mut self.bucket_scratch[receiver_shard * shards + sender_shard],
+                );
+            }
+        }
+        // Merge the partials in canonical shard order. Each touched edge
+        // appears in exactly one list and its accumulators hold the full
+        // round totals by now, so one `record_bulk` per edge reproduces the
+        // serial ledger bit for bit.
+        for touched in scratch.touched.iter_mut() {
+            for &edge in touched.iter() {
+                let edge = edge as usize;
+                let count = u64::from(edge_counts[edge].swap(0, Ordering::Relaxed));
+                let bytes = edge_bytes[edge].swap(0, Ordering::Relaxed);
+                ledger.record_bulk(edge, count, bytes);
+            }
+            touched.clear();
+        }
+    }
+}
+
+impl<M: Send + Sync> Transport<M> for InProcessTransport<M> {
+    fn deliver(&mut self, barrier: RoundBarrier<'_, M>) -> RuntimeResult<BarrierOutcome> {
+        let local_sent = barrier.local_sent;
+        if barrier.shards == 1 || barrier.traced || local_sent == 0 {
+            self.deliver_serial(barrier);
+        } else {
+            self.deliver_parallel(barrier);
+        }
+        Ok(BarrierOutcome {
+            delivered: local_sent,
+            remote_halted: 0,
+        })
+    }
+}

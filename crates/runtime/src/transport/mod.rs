@@ -1,0 +1,140 @@
+//! Pluggable delivery backends for the round barrier.
+//!
+//! The engine splits every round into an *execute* phase (stepping the node
+//! programs, producing per-node outboxes of resolved
+//! [`Outgoing`] messages) and a *dispatch* phase that
+//! moves each payload into its receiver's mailbox. Everything up to the
+//! barrier — routing, fault injection, sender-side metrics — is
+//! backend-independent; the barrier itself is a [`Transport`]:
+//!
+//! * [`InProcessTransport`] — the default: the zero-allocation
+//!   double-buffered fast path (serial or receiver-sharded parallel
+//!   delivery) the engine has always used. Payloads move by value, nothing
+//!   is serialized.
+//! * [`TcpTransport`] — multi-process execution over localhost (or any
+//!   reachable peers): each process owns a contiguous node range, and the
+//!   barrier exchanges one length-prefixed binary frame per peer per round.
+//!   Requires the message type to implement [`WireCodec`].
+//! * [`MockTransport`] — a loopback test backend that pushes every payload
+//!   through its wire encoding and can record, delay, drop or corrupt
+//!   frames, for transport-level tests that stay in one process.
+//!
+//! The contract every backend must uphold — canonical mailbox order,
+//! sender-side ledger accounting, the codec/`payload_bytes` equivalence —
+//! is specified in `docs/TRANSPORT.md`. Upholding it is what makes the same
+//! `NodeProgram` + workload + seed produce **bit-identical outputs,
+//! [`ExecutionMetrics`] and [`MessageLedger`]** on every backend;
+//! `tests/determinism_matrix.rs` pins this across all three.
+
+mod codec;
+mod in_process;
+mod mock;
+mod tcp;
+
+pub use codec::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
+pub use in_process::InProcessTransport;
+pub use mock::{Disturbance, FrameRecord, MockTransport};
+pub use tcp::{TcpConfig, TcpTransport};
+
+use crate::error::RuntimeResult;
+use crate::metrics::{ExecutionMetrics, MessageLedger};
+use crate::node::{Envelope, Outgoing};
+use crate::trace::Trace;
+use std::fmt;
+use std::ops::Range;
+
+/// The engine's view of one closed round barrier, handed to
+/// [`Transport::deliver`].
+///
+/// By the time a backend sees the barrier, the engine has already run the
+/// fault pre-pass (dropped/duplicated messages are resolved; survivors sit
+/// in the outboxes in canonical order) and the sender-side metrics pass
+/// (`metrics` already counts this round's local sends). The backend's job
+/// is delivery and per-edge ledger accounting:
+///
+/// * move every outbox message into `mailboxes[receiver]`, filling each
+///   mailbox in ascending sender order (per sender, in send order) — the
+///   canonical order the serial engine produces;
+/// * record every locally sent message into `ledger` (sender-side: a
+///   message is recorded by the rank that sent it, once, with its
+///   [`Outgoing::bytes`] size);
+/// * when `traced`, record a [`TraceEvent`](crate::trace::TraceEvent) per
+///   message in canonical send order (only backends whose
+///   [`Transport::supports_tracing`] returns `true` see `traced == true`).
+#[derive(Debug)]
+pub struct RoundBarrier<'a, M> {
+    /// The round whose sends are being delivered (0 = initialization).
+    pub round: u32,
+    /// Effective worker-shard count of this execution (a parallelism hint;
+    /// a backend may ignore it and deliver serially).
+    pub shards: usize,
+    /// Whether this round must record trace events (canonical order).
+    pub traced: bool,
+    /// Number of messages in the local outboxes (post fault pre-pass).
+    pub local_sent: u64,
+    /// Per-node halted flags; only the entries of the engine's owned range
+    /// are meaningful (a distributed backend exchanges these counts so
+    /// every rank can agree on global termination).
+    pub halted: &'a [bool],
+    /// Per-node outboxes in canonical node order; the backend drains them.
+    pub outboxes: &'a mut [Vec<Outgoing<M>>],
+    /// Back mailbox buffer to fill (the engine swaps it in next round). The
+    /// backend must clear stale contents before delivering.
+    pub mailboxes: &'a mut [Vec<Envelope<M>>],
+    /// Execution metrics; local sends are already counted. A distributed
+    /// backend merges peer ranks' per-node send counts here.
+    pub metrics: &'a mut ExecutionMetrics,
+    /// The message ledger to record delivered traffic into.
+    pub ledger: &'a mut MessageLedger,
+    /// The trace log (only written when `traced`).
+    pub trace: &'a mut Trace,
+}
+
+/// What a [`Transport::deliver`] call reports back to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierOutcome {
+    /// Messages sent network-wide this round (every rank's post-fault
+    /// outbox total). Single-process backends report
+    /// [`RoundBarrier::local_sent`]; this feeds
+    /// [`Network::pending_messages`](crate::engine::Network::pending_messages).
+    pub delivered: u64,
+    /// Halted nodes outside the engine's owned range, as exchanged at this
+    /// barrier (0 for single-process backends).
+    pub remote_halted: usize,
+}
+
+/// A delivery backend for the round barrier.
+///
+/// Implementations move one round's outbox messages into the receiving
+/// mailboxes — in process, over sockets, or through a test double — while
+/// keeping every observable of the execution bit-identical to the
+/// [`InProcessTransport`] reference (see the [module docs](self) and
+/// `docs/TRANSPORT.md`).
+pub trait Transport<M>: fmt::Debug + Send {
+    /// Delivers one closed round. See [`RoundBarrier`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Wire backends return
+    /// [`RuntimeError::Transport`](crate::error::RuntimeError::Transport)
+    /// on I/O failures, timeouts, desynchronized frames, or codec
+    /// violations. A failed barrier leaves
+    /// the network in an unspecified (but memory-safe) state; callers
+    /// should discard it.
+    fn deliver(&mut self, barrier: RoundBarrier<'_, M>) -> RuntimeResult<BarrierOutcome>;
+
+    /// Whether this backend can record canonical-order traces.
+    /// [`Network::with_transport`](crate::engine::Network::with_transport)
+    /// rejects [`TraceMode::Full`](crate::trace::TraceMode::Full) configs
+    /// on backends that return `false`.
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
+    /// The contiguous node range this process steps locally. Single-process
+    /// backends own everything; a distributed backend owns its rank's
+    /// chunk. Programs outside the range are constructed but never stepped.
+    fn owned_range(&self, node_count: usize) -> Range<usize> {
+        0..node_count
+    }
+}

@@ -1,0 +1,708 @@
+//! Multi-process execution over TCP: each process owns a contiguous node
+//! range and the round barrier exchanges one length-prefixed binary frame
+//! per peer per round.
+//!
+//! # Frame protocol
+//!
+//! All integers are little-endian. Per barrier, every rank sends every peer
+//! exactly one frame (even when it has no messages for that peer — the
+//! frame *is* the barrier):
+//!
+//! ```text
+//! [u32 body_len]                          // bytes after this field
+//! [u32 round] [u32 sender_rank]           // lockstep check
+//! [u64 sent_total]                        // sender's post-fault outbox total
+//! [u32 halted] [u32 msg_count] [u32 stats_len]
+//! <stats section, stats_len bytes>        // identical in every peer frame
+//! <msg_count message records>
+//! message record := [u64 edge] [u32 sender] [u32 receiver]
+//!                   [u32 payload_len] <payload bytes>
+//! ```
+//!
+//! The stats section is what makes every rank's [`MessageLedger`] and
+//! [`ExecutionMetrics`] **globally identical** (the cross-backend identity
+//! contract of `docs/TRANSPORT.md`): each rank records its own sends
+//! per-message at the barrier, broadcasts per-node send counts, per-edge
+//! `(count, bytes)` aggregates and this round's fault deltas, and applies
+//! every peer's stats through the order-independent bulk recorders:
+//!
+//! ```text
+//! stats := [u32 node_entries] ([u32 node] [u64 count])*
+//!          [u32 edge_entries] ([u64 edge] [u64 count] [u64 bytes])*
+//!          [u64 dropped_random] [u64 dropped_link_cut]
+//!          [u64 dropped_crash]  [u64 duplicated]
+//! ```
+//!
+//! Mailboxes are filled in ascending rank-slot order (a rank drains its own
+//! pending messages at its own slot); because ranks own ascending contiguous
+//! node ranges and every frame lists messages in canonical (node, send)
+//! order, this reproduces exactly the mailbox order of the serial in-process
+//! barrier.
+//!
+//! `sent_total` sums to the network-wide send count, so
+//! [`run_until_quiet`](crate::engine::Network::run_until_quiet) stays in
+//! lockstep across ranks; `halted` counts let every rank agree on global
+//! termination for [`run_until_halt`](crate::engine::Network::run_until_halt).
+//!
+//! # Connection setup
+//!
+//! Rank `r` listens on `peers[r]`, actively connects to every rank below it
+//! (retrying until `connect_timeout`), and accepts one connection from every
+//! rank above it. Both sides exchange a 16-byte handshake
+//! (`magic, version, world, rank`) before any frame moves. All sockets run
+//! with `TCP_NODELAY` and `io_timeout` read/write deadlines; every failure
+//! — setup, timeout, desynchronized or malformed frame, codec violation —
+//! surfaces as [`RuntimeError::Transport`].
+//!
+//! The backend does not support [`TraceMode::Full`](crate::trace::TraceMode)
+//! (canonical-order trace events cannot be reconstructed from per-peer
+//! frames without shipping the full event stream);
+//! [`Network::with_transport`](crate::engine::Network::with_transport)
+//! rejects traced configs up front.
+//!
+//! [`MessageLedger`]: crate::metrics::MessageLedger
+//! [`ExecutionMetrics`]: crate::metrics::ExecutionMetrics
+
+use super::codec::WireCodec;
+use super::{BarrierOutcome, RoundBarrier, Transport};
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::metrics::FaultTotals;
+use crate::node::{Envelope, Outgoing};
+use freelunch_graph::{EdgeId, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Handshake magic: `"FLTP"` (freelunch transport).
+const MAGIC: u32 = 0x464C_5450;
+/// Frame protocol version; bumped on any wire-format change.
+const VERSION: u32 = 1;
+/// Upper bound on a frame body, to reject absurd lengths from a corrupt or
+/// desynchronized stream before allocating.
+const MAX_BODY: u32 = 1 << 30;
+/// Fixed part of the frame body: round, sender_rank, sent_total, halted,
+/// msg_count, stats_len.
+const BODY_FIXED: usize = 4 + 4 + 8 + 4 + 4 + 4;
+
+/// Configuration of a [`TcpTransport`] process group.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This process's rank in `0..peers.len()`.
+    pub rank: usize,
+    /// One listen address per rank, identical on every process; rank `r`
+    /// listens on `peers[r]`. `peers.len()` is the world size.
+    pub peers: Vec<SocketAddr>,
+    /// Deadline for the whole connection setup (active connects retry until
+    /// it expires; pending accepts abort when it does).
+    pub connect_timeout: Duration,
+    /// Per-operation read/write deadline on established sockets. A barrier
+    /// that waits longer than this on a peer fails with
+    /// [`RuntimeError::Transport`].
+    pub io_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// A config with default timeouts (10 s connect, 30 s per I/O op).
+    pub fn new(rank: usize, peers: Vec<SocketAddr>) -> Self {
+        TcpConfig {
+            rank,
+            peers,
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The TCP delivery backend (the module docs above describe the protocol).
+pub struct TcpTransport<M> {
+    rank: usize,
+    world: usize,
+    /// Established streams, indexed by peer rank (`None` at the own slot).
+    streams: Vec<Option<TcpStream>>,
+    /// Per-peer message-record bytes accumulated while draining outboxes.
+    frame_bufs: Vec<Vec<u8>>,
+    /// Per-peer record counts matching `frame_bufs`.
+    frame_counts: Vec<u32>,
+    /// The assembled frame (header + stats + records), one write per peer.
+    send_buf: Vec<u8>,
+    /// Incoming frame body buffer, reused across rounds.
+    read_buf: Vec<u8>,
+    /// Payload encoding scratch.
+    payload_buf: Vec<u8>,
+    /// The shared stats section of this round's frames.
+    stats_buf: Vec<u8>,
+    /// Messages addressed to locally owned receivers, held until this
+    /// rank's slot in the delivery order comes up.
+    local_pending: Vec<Outgoing<M>>,
+    /// Per-edge `(count, bytes)` aggregates of this round's own sends
+    /// (`BTreeMap` so the stats section lists edges in ascending order).
+    edge_stats: BTreeMap<u64, (u64, u64)>,
+    /// Ledger fault totals as of the previous barrier, for delta encoding.
+    prev_faults: FaultTotals,
+}
+
+impl<M> fmt::Debug for TcpTransport<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish_non_exhaustive()
+    }
+}
+
+fn transport_io(context: &str, err: std::io::Error) -> RuntimeError {
+    RuntimeError::transport(format!("{context}: {err}"))
+}
+
+fn write_handshake(stream: &mut TcpStream, world: usize, rank: usize) -> RuntimeResult<()> {
+    let mut hs = [0u8; 16];
+    hs[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    hs[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    hs[8..12].copy_from_slice(&(world as u32).to_le_bytes());
+    hs[12..16].copy_from_slice(&(rank as u32).to_le_bytes());
+    stream
+        .write_all(&hs)
+        .map_err(|e| transport_io("handshake write", e))
+}
+
+fn read_handshake(stream: &mut TcpStream, world: usize) -> RuntimeResult<usize> {
+    let mut hs = [0u8; 16];
+    stream
+        .read_exact(&mut hs)
+        .map_err(|e| transport_io("handshake read", e))?;
+    let word = |i: usize| u32::from_le_bytes([hs[i], hs[i + 1], hs[i + 2], hs[i + 3]]);
+    if word(0) != MAGIC {
+        return Err(RuntimeError::transport(format!(
+            "handshake: bad magic {:#010x} (not a freelunch transport peer?)",
+            word(0)
+        )));
+    }
+    if word(4) != VERSION {
+        return Err(RuntimeError::transport(format!(
+            "handshake: protocol version mismatch: peer speaks v{}, this build speaks v{VERSION}",
+            word(4)
+        )));
+    }
+    if word(8) as usize != world {
+        return Err(RuntimeError::transport(format!(
+            "handshake: world-size mismatch: peer configured for {} ranks, this process for {world}",
+            word(8)
+        )));
+    }
+    Ok(word(12) as usize)
+}
+
+impl<M> TcpTransport<M> {
+    /// Binds a listener on `config.peers[config.rank]` and establishes the
+    /// full peer mesh. This is the constructor for genuinely separate
+    /// processes (see `examples/tcp_transport.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] on an invalid config, bind failure, or
+    /// any peer not completing its handshake before `connect_timeout`.
+    pub fn connect(config: &TcpConfig) -> RuntimeResult<Self> {
+        if config.rank >= config.peers.len() {
+            return Err(RuntimeError::transport(format!(
+                "rank {} out of range for a {}-rank world",
+                config.rank,
+                config.peers.len()
+            )));
+        }
+        let listener = TcpListener::bind(config.peers[config.rank])
+            .map_err(|e| transport_io("bind listener", e))?;
+        TcpTransport::with_listener(listener, config)
+    }
+
+    /// Establishes the peer mesh over an already-bound listener. Tests bind
+    /// every rank's listener on `127.0.0.1:0` *first*, collect the actual
+    /// addresses into `config.peers`, and only then connect — which makes
+    /// the rendezvous free of port races.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] on an invalid config or any peer not
+    /// completing its handshake before `connect_timeout`.
+    pub fn with_listener(listener: TcpListener, config: &TcpConfig) -> RuntimeResult<Self> {
+        let world = config.peers.len();
+        let rank = config.rank;
+        if rank >= world {
+            return Err(RuntimeError::transport(format!(
+                "rank {rank} out of range for a {world}-rank world"
+            )));
+        }
+        let deadline = Instant::now() + config.connect_timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+
+        // Actively connect to every lower rank (their listeners may still be
+        // coming up, so retry until the deadline).
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let stream = loop {
+                match TcpStream::connect_timeout(
+                    &config.peers[peer],
+                    Duration::from_millis(200).min(config.connect_timeout),
+                ) {
+                    Ok(stream) => break stream,
+                    Err(err) => {
+                        if Instant::now() >= deadline {
+                            return Err(RuntimeError::transport(format!(
+                                "connect to rank {peer} at {}: {err}",
+                                config.peers[peer]
+                            )));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            let mut stream = stream;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| transport_io("set_nodelay", e))?;
+            stream
+                .set_read_timeout(Some(config.io_timeout))
+                .map_err(|e| transport_io("set_read_timeout", e))?;
+            write_handshake(&mut stream, world, rank)?;
+            let peer_rank = read_handshake(&mut stream, world)?;
+            if peer_rank != peer {
+                return Err(RuntimeError::transport(format!(
+                    "connected to {} expecting rank {peer}, but it identifies as rank {peer_rank}",
+                    config.peers[peer]
+                )));
+            }
+            *slot = Some(stream);
+        }
+
+        // Accept one connection from every higher rank.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_io("listener set_nonblocking", e))?;
+        let mut expected = world - rank - 1;
+        while expected > 0 {
+            match listener.accept() {
+                Ok((mut stream, addr)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| transport_io("stream set_blocking", e))?;
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| transport_io("set_nodelay", e))?;
+                    stream
+                        .set_read_timeout(Some(config.io_timeout))
+                        .map_err(|e| transport_io("set_read_timeout", e))?;
+                    let peer_rank = read_handshake(&mut stream, world)?;
+                    if peer_rank <= rank || peer_rank >= world {
+                        return Err(RuntimeError::transport(format!(
+                            "accepted {addr} identifying as rank {peer_rank}, which must not \
+                             connect to rank {rank}"
+                        )));
+                    }
+                    if streams[peer_rank].is_some() {
+                        return Err(RuntimeError::transport(format!(
+                            "rank {peer_rank} connected twice"
+                        )));
+                    }
+                    write_handshake(&mut stream, world, rank)?;
+                    streams[peer_rank] = Some(stream);
+                    expected -= 1;
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(RuntimeError::transport(format!(
+                            "timed out waiting for {expected} higher-rank peer(s) to connect"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(err) => return Err(transport_io("accept", err)),
+            }
+        }
+
+        for stream in streams.iter().flatten() {
+            stream
+                .set_write_timeout(Some(config.io_timeout))
+                .map_err(|e| transport_io("set_write_timeout", e))?;
+        }
+
+        Ok(TcpTransport {
+            rank,
+            world,
+            streams,
+            frame_bufs: (0..world).map(|_| Vec::new()).collect(),
+            frame_counts: vec![0; world],
+            send_buf: Vec::new(),
+            read_buf: Vec::new(),
+            payload_buf: Vec::new(),
+            stats_buf: Vec::new(),
+            local_pending: Vec::new(),
+            edge_stats: BTreeMap::new(),
+            prev_faults: FaultTotals::default(),
+        })
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the process group.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+}
+
+/// Sequential little-endian reader over a received frame body.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    peer: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn take(&mut self, len: usize) -> RuntimeResult<&'a [u8]> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(RuntimeError::transport(format!(
+                "frame from rank {} truncated: wanted {len} bytes at offset {}, body is {} bytes",
+                self.peer,
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u32(&mut self) -> RuntimeResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> RuntimeResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// The contiguous node range rank `rank` of `world` owns (the same
+/// `div_ceil` chunking the sharded execute phase uses).
+fn rank_range(rank: usize, world: usize, node_count: usize) -> Range<usize> {
+    let chunk = node_count.div_ceil(world);
+    let lo = (rank * chunk).min(node_count);
+    let hi = (lo + chunk).min(node_count);
+    lo..hi
+}
+
+impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> TcpTransport<M> {
+    /// Drains the local outboxes: records every send in the ledger
+    /// (sender-side), stages locally addressed messages, encodes remote
+    /// ones into per-peer record buffers, and accumulates the stats
+    /// aggregates. Returns the per-node count entries for the stats
+    /// section.
+    fn stage_local_sends(
+        &mut self,
+        outboxes: &mut [Vec<Outgoing<M>>],
+        ledger: &mut crate::metrics::MessageLedger,
+        chunk: usize,
+    ) -> RuntimeResult<Vec<(u32, u64)>> {
+        let mut node_counts = Vec::new();
+        for (node, outbox) in outboxes.iter_mut().enumerate() {
+            if outbox.is_empty() {
+                continue;
+            }
+            node_counts.push((node as u32, outbox.len() as u64));
+            for outgoing in outbox.drain(..) {
+                ledger.record(outgoing.edge.index(), outgoing.bytes);
+                let entry = self.edge_stats.entry(outgoing.edge.raw()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += outgoing.bytes;
+                let dest = outgoing.receiver.index() / chunk;
+                if dest == self.rank {
+                    self.local_pending.push(outgoing);
+                    continue;
+                }
+                self.payload_buf.clear();
+                outgoing.payload.encode(&mut self.payload_buf);
+                if self.payload_buf.len() as u64 != outgoing.bytes {
+                    return Err(RuntimeError::transport(format!(
+                        "codec/payload_bytes mismatch on edge {}: encoded {} bytes, \
+                         payload_bytes charges {} (see docs/TRANSPORT.md)",
+                        outgoing.edge,
+                        self.payload_buf.len(),
+                        outgoing.bytes
+                    )));
+                }
+                let buf = &mut self.frame_bufs[dest];
+                buf.extend_from_slice(&outgoing.edge.raw().to_le_bytes());
+                buf.extend_from_slice(&outgoing.sender.raw().to_le_bytes());
+                buf.extend_from_slice(&outgoing.receiver.raw().to_le_bytes());
+                buf.extend_from_slice(&(self.payload_buf.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&self.payload_buf);
+                self.frame_counts[dest] += 1;
+            }
+        }
+        Ok(node_counts)
+    }
+
+    /// Builds the stats section shared by every peer frame for this round.
+    fn build_stats(&mut self, node_counts: &[(u32, u64)], faults: &FaultTotals) {
+        self.stats_buf.clear();
+        let buf = &mut self.stats_buf;
+        buf.extend_from_slice(&(node_counts.len() as u32).to_le_bytes());
+        for &(node, count) in node_counts {
+            buf.extend_from_slice(&node.to_le_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.edge_stats.len() as u32).to_le_bytes());
+        for (&edge, &(count, bytes)) in &self.edge_stats {
+            buf.extend_from_slice(&edge.to_le_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+            buf.extend_from_slice(&bytes.to_le_bytes());
+        }
+        let delta = |now: u64, prev: u64| now - prev;
+        buf.extend_from_slice(
+            &delta(faults.dropped_random, self.prev_faults.dropped_random).to_le_bytes(),
+        );
+        buf.extend_from_slice(
+            &delta(faults.dropped_link_cut, self.prev_faults.dropped_link_cut).to_le_bytes(),
+        );
+        buf.extend_from_slice(
+            &delta(faults.dropped_crash, self.prev_faults.dropped_crash).to_le_bytes(),
+        );
+        buf.extend_from_slice(&delta(faults.duplicated, self.prev_faults.duplicated).to_le_bytes());
+    }
+
+    /// Writes this round's frame to peer `peer` (one buffered `write_all`).
+    fn write_frame(
+        &mut self,
+        peer: usize,
+        round: u32,
+        sent_total: u64,
+        halted: u32,
+    ) -> RuntimeResult<()> {
+        let body_len = BODY_FIXED + self.stats_buf.len() + self.frame_bufs[peer].len();
+        if body_len as u64 > u64::from(MAX_BODY) {
+            return Err(RuntimeError::transport(format!(
+                "frame to rank {peer} exceeds the {MAX_BODY}-byte body limit ({body_len} bytes)"
+            )));
+        }
+        self.send_buf.clear();
+        self.send_buf
+            .extend_from_slice(&(body_len as u32).to_le_bytes());
+        self.send_buf.extend_from_slice(&round.to_le_bytes());
+        self.send_buf
+            .extend_from_slice(&(self.rank as u32).to_le_bytes());
+        self.send_buf.extend_from_slice(&sent_total.to_le_bytes());
+        self.send_buf.extend_from_slice(&halted.to_le_bytes());
+        self.send_buf
+            .extend_from_slice(&self.frame_counts[peer].to_le_bytes());
+        self.send_buf
+            .extend_from_slice(&(self.stats_buf.len() as u32).to_le_bytes());
+        self.send_buf.extend_from_slice(&self.stats_buf);
+        self.send_buf.extend_from_slice(&self.frame_bufs[peer]);
+        let stream = self.streams[peer]
+            .as_mut()
+            .expect("peer stream present by construction");
+        stream
+            .write_all(&self.send_buf)
+            .map_err(|e| transport_io(&format!("write frame to rank {peer}"), e))?;
+        stream
+            .flush()
+            .map_err(|e| transport_io(&format!("flush frame to rank {peer}"), e))
+    }
+
+    /// Reads peer `peer`'s frame body into `read_buf` and returns it.
+    fn read_frame(&mut self, peer: usize) -> RuntimeResult<()> {
+        let stream = self.streams[peer]
+            .as_mut()
+            .expect("peer stream present by construction");
+        let mut len = [0u8; 4];
+        stream
+            .read_exact(&mut len)
+            .map_err(|e| transport_io(&format!("read frame length from rank {peer}"), e))?;
+        let body_len = u32::from_le_bytes(len);
+        if body_len > MAX_BODY || (body_len as usize) < BODY_FIXED {
+            return Err(RuntimeError::transport(format!(
+                "desynchronized stream from rank {peer}: implausible frame body of {body_len} bytes"
+            )));
+        }
+        self.read_buf.resize(body_len as usize, 0);
+        stream
+            .read_exact(&mut self.read_buf)
+            .map_err(|e| transport_io(&format!("read frame body from rank {peer}"), e))
+    }
+}
+
+impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransport<M> {
+    fn deliver(&mut self, barrier: RoundBarrier<'_, M>) -> RuntimeResult<BarrierOutcome> {
+        let RoundBarrier {
+            round,
+            local_sent,
+            halted,
+            outboxes,
+            mailboxes,
+            metrics,
+            ledger,
+            ..
+        } = barrier;
+        let node_count = mailboxes.len();
+        let chunk = node_count.div_ceil(self.world);
+        let owned = rank_range(self.rank, self.world, node_count);
+
+        for buf in &mut self.frame_bufs {
+            buf.clear();
+        }
+        self.frame_counts.fill(0);
+        self.local_pending.clear();
+        self.edge_stats.clear();
+
+        let node_counts = self.stage_local_sends(outboxes, ledger, chunk)?;
+        let fault_totals = ledger.fault_totals();
+        self.build_stats(&node_counts, &fault_totals);
+        self.prev_faults = fault_totals;
+        let halted_local = halted[owned.clone()].iter().filter(|&&h| h).count() as u32;
+
+        // Write every peer's frame first (frames buffer in the kernel), then
+        // read; no read depends on a peer having read ours.
+        for peer in 0..self.world {
+            if peer != self.rank {
+                self.write_frame(peer, round, local_sent, halted_local)?;
+            }
+        }
+
+        for mailbox in mailboxes.iter_mut() {
+            mailbox.clear();
+        }
+
+        let mut delivered = local_sent;
+        let mut remote_halted = 0usize;
+        // Deliver in ascending rank-slot order — that is ascending sender
+        // order, which reproduces the canonical serial mailbox order.
+        for slot in 0..self.world {
+            if slot == self.rank {
+                for outgoing in self.local_pending.drain(..) {
+                    mailboxes[outgoing.receiver.index()].push(Envelope {
+                        edge: outgoing.edge,
+                        from: outgoing.sender,
+                        payload: outgoing.payload,
+                    });
+                }
+                continue;
+            }
+            self.read_frame(slot)?;
+            let mut reader = FrameReader {
+                buf: &self.read_buf,
+                pos: 0,
+                peer: slot,
+            };
+            let peer_round = reader.u32()?;
+            let peer_rank = reader.u32()? as usize;
+            if peer_round != round || peer_rank != slot {
+                return Err(RuntimeError::transport(format!(
+                    "desynchronized stream: expected round {round} from rank {slot}, \
+                     got round {peer_round} from rank {peer_rank}"
+                )));
+            }
+            delivered += reader.u64()?;
+            remote_halted += reader.u32()? as usize;
+            let msg_count = reader.u32()?;
+            let stats_len = reader.u32()? as usize;
+
+            // Stats: merge through the order-independent bulk recorders.
+            let stats_end = reader.pos + stats_len;
+            let node_entries = reader.u32()?;
+            for _ in 0..node_entries {
+                let node = reader.u32()? as usize;
+                let count = reader.u64()?;
+                if node >= node_count {
+                    return Err(RuntimeError::transport(format!(
+                        "frame from rank {slot} reports sends for out-of-range node {node}"
+                    )));
+                }
+                metrics.record_sends(node, count);
+            }
+            let edge_entries = reader.u32()?;
+            for _ in 0..edge_entries {
+                let edge = reader.u64()? as usize;
+                let count = reader.u64()?;
+                let bytes = reader.u64()?;
+                if edge >= ledger.edge_slots() {
+                    return Err(RuntimeError::transport(format!(
+                        "frame from rank {slot} reports traffic on out-of-range edge {edge}"
+                    )));
+                }
+                ledger.record_bulk(edge, count, bytes);
+            }
+            ledger.record_dropped_bulk(crate::metrics::FaultCause::Random, reader.u64()?);
+            ledger.record_dropped_bulk(crate::metrics::FaultCause::LinkCut, reader.u64()?);
+            ledger.record_dropped_bulk(crate::metrics::FaultCause::Crash, reader.u64()?);
+            ledger.record_duplicated_bulk(reader.u64()?);
+            if reader.pos != stats_end {
+                return Err(RuntimeError::transport(format!(
+                    "frame from rank {slot}: stats section is {stats_len} bytes but parsing \
+                     consumed {}",
+                    reader.pos - (stats_end - stats_len)
+                )));
+            }
+
+            // Message records, already in canonical (node, send) order.
+            let peer_range = rank_range(slot, self.world, node_count);
+            for _ in 0..msg_count {
+                let edge = EdgeId::new(reader.u64()?);
+                let sender = NodeId::new(reader.u32()?);
+                let receiver = NodeId::new(reader.u32()?);
+                let payload_len = reader.u32()? as usize;
+                let payload_bytes = reader.take(payload_len)?;
+                if !peer_range.contains(&sender.index()) {
+                    return Err(RuntimeError::transport(format!(
+                        "frame from rank {slot} carries a message from node {sender}, \
+                         which that rank does not own"
+                    )));
+                }
+                if !owned.contains(&receiver.index()) {
+                    return Err(RuntimeError::transport(format!(
+                        "frame from rank {slot} addresses node {receiver}, which rank {} \
+                         does not own",
+                        self.rank
+                    )));
+                }
+                let payload = M::decode(payload_bytes).map_err(|e| {
+                    RuntimeError::transport(format!(
+                        "frame from rank {slot}: payload on edge {edge} failed to decode: {e}"
+                    ))
+                })?;
+                mailboxes[receiver.index()].push(Envelope {
+                    edge,
+                    from: sender,
+                    payload,
+                });
+            }
+            if reader.pos != reader.buf.len() {
+                return Err(RuntimeError::transport(format!(
+                    "frame from rank {slot} has {} trailing bytes",
+                    reader.buf.len() - reader.pos
+                )));
+            }
+        }
+
+        Ok(BarrierOutcome {
+            delivered,
+            remote_halted,
+        })
+    }
+
+    fn supports_tracing(&self) -> bool {
+        false
+    }
+
+    fn owned_range(&self, node_count: usize) -> Range<usize> {
+        rank_range(self.rank, self.world, node_count)
+    }
+}

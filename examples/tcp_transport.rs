@@ -1,0 +1,142 @@
+//! The same Luby-MIS execution as two genuine OS processes talking TCP over
+//! localhost — and bit-identical to the single-process in-process run.
+//!
+//! ```sh
+//! cargo run --release --example tcp_transport
+//! ```
+//!
+//! With no arguments the process orchestrates: it reserves two localhost
+//! ports, then re-spawns itself twice (`FREELUNCH_RANK=0|1`), one process
+//! per rank. Each rank builds the identical graph from the shared seed,
+//! owns its contiguous half of the nodes, and exchanges one length-prefixed
+//! frame per peer per round ([`TcpTransport`]). After halting, each rank
+//! *independently* replays the whole execution on the in-process backend
+//! and asserts that its TCP run produced the identical outputs (on its
+//! owned range), [`ExecutionMetrics`] and [`MessageLedger`] — the
+//! cross-backend identity contract of `docs/TRANSPORT.md`.
+
+use freelunch::algorithms::{is_maximal_independent_set, LubyMis};
+use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::MultiGraph;
+use freelunch::runtime::transport::{TcpConfig, TcpTransport};
+use freelunch::runtime::{FaultPlan, Network, NetworkConfig};
+use std::net::{SocketAddr, TcpListener};
+use std::process::Command;
+
+const SEED: u64 = 11;
+const BUDGET: u32 = 300;
+
+fn graph() -> Result<MultiGraph, Box<dyn std::error::Error>> {
+    Ok(sparse_connected_erdos_renyi(
+        &GeneratorConfig::new(2_000, 9),
+        6.0,
+    )?)
+}
+
+/// One rank of the process group: run over TCP, then verify against a local
+/// in-process replay.
+fn run_rank(rank: usize, peers: Vec<SocketAddr>) -> Result<(), Box<dyn std::error::Error>> {
+    let graph = graph()?;
+    let config = TcpConfig::new(rank, peers);
+    let transport = TcpTransport::connect(&config)?;
+    let factory =
+        |_, knowledge: &freelunch::runtime::InitialKnowledge| LubyMis::new(knowledge.degree());
+
+    let start = std::time::Instant::now();
+    let mut network = Network::with_transport(
+        &graph,
+        NetworkConfig::with_seed(SEED),
+        FaultPlan::none(),
+        transport,
+        factory,
+    )?;
+    network.run_until_halt(BUDGET)?;
+    let elapsed = start.elapsed();
+    let owned = network.owned_nodes();
+    let states: Vec<_> = network.programs()[owned.clone()]
+        .iter()
+        .map(LubyMis::state)
+        .collect();
+
+    // Independent in-process replay: same graph, same seed, one process.
+    let mut reference = Network::new(&graph, NetworkConfig::with_seed(SEED), factory)?;
+    reference.run_until_halt(BUDGET)?;
+    let reference_states: Vec<_> = reference.programs().iter().map(LubyMis::state).collect();
+
+    assert_eq!(
+        states,
+        reference_states[owned.clone()],
+        "rank {rank}: TCP outputs diverged from the in-process replay"
+    );
+    assert_eq!(
+        network.metrics(),
+        reference.metrics(),
+        "rank {rank}: metrics diverged"
+    );
+    assert_eq!(
+        network.ledger(),
+        reference.ledger(),
+        "rank {rank}: message ledger diverged"
+    );
+    assert!(is_maximal_independent_set(&graph, &reference_states));
+
+    let cost = network.cost();
+    println!(
+        "rank {rank}: nodes {}..{} of {}, rounds={}, messages={}, wall={elapsed:.2?} — \
+         outputs, metrics and ledger identical to the in-process replay ✓",
+        owned.start,
+        owned.end,
+        graph.node_count(),
+        cost.rounds,
+        cost.messages,
+    );
+    Ok(())
+}
+
+/// Orchestrator: reserve two localhost ports, then spawn one child process
+/// per rank and wait for both to verify.
+fn orchestrate() -> Result<(), Box<dyn std::error::Error>> {
+    let peers: Vec<SocketAddr> = (0..2)
+        .map(|_| {
+            // Bind-and-drop reserves a free port; the child re-binds it.
+            TcpListener::bind("127.0.0.1:0").and_then(|l| l.local_addr())
+        })
+        .collect::<Result<_, _>>()?;
+    let peer_list = peers
+        .iter()
+        .map(|addr| addr.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("spawning 2 ranks over {peer_list}");
+
+    let exe = std::env::current_exe()?;
+    let children: Vec<_> = (0..2)
+        .map(|rank| {
+            Command::new(&exe)
+                .env("FREELUNCH_RANK", rank.to_string())
+                .env("FREELUNCH_PEERS", &peer_list)
+                .spawn()
+        })
+        .collect::<Result<_, _>>()?;
+    for (rank, child) in children.into_iter().enumerate() {
+        let status = child.wait_with_output()?;
+        if !status.status.success() {
+            return Err(format!("rank {rank} exited with {}", status.status).into());
+        }
+    }
+    println!("both ranks verified against the in-process backend ✓");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    match std::env::var("FREELUNCH_RANK") {
+        Ok(rank) => {
+            let peers = std::env::var("FREELUNCH_PEERS")?
+                .split(',')
+                .map(|addr| addr.parse())
+                .collect::<Result<Vec<SocketAddr>, _>>()?;
+            run_rank(rank.parse()?, peers)
+        }
+        Err(_) => orchestrate(),
+    }
+}

@@ -19,11 +19,13 @@ use freelunch::graph::generators::{
     barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
 };
 use freelunch::graph::{MultiGraph, NodeId};
+use freelunch::runtime::transport::{MockTransport, TcpConfig, TcpTransport, WireCodec};
 use freelunch::runtime::{
-    Context, Envelope, ExecutionMetrics, InitialKnowledge, MessageLedger, Network, NetworkConfig,
-    NodeProgram, Trace, TraceMode,
+    Context, Envelope, ExecutionMetrics, FaultPlan, InitialKnowledge, MessageLedger, Network,
+    NetworkConfig, NodeProgram, Trace, TraceMode,
 };
 use std::fmt::Debug;
+use std::net::{SocketAddr, TcpListener};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -286,6 +288,256 @@ fn trace_mode_off_changes_no_other_observable() {
             assert_eq!(full.3, full.1.total_messages(), "{name}/{shards}");
             assert_eq!(off.3, 0, "{name}/{shards}");
         }
+    }
+}
+
+/// One full observable set of an execution, for cross-backend comparison.
+type Observables<O> = (Vec<O>, ExecutionMetrics, MessageLedger);
+
+/// Runs `factory`'s program on the in-process backend (untraced — the wire
+/// backends cannot trace).
+fn in_process_run<P, O>(
+    graph: &MultiGraph,
+    seed: u64,
+    budget: u32,
+    shards: usize,
+    factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy,
+    extract: impl Fn(&P) -> O,
+) -> Observables<O>
+where
+    P: NodeProgram,
+    O: PartialEq + Debug,
+{
+    let config = NetworkConfig::with_seed(seed).sharded(shards);
+    let mut network = Network::new(graph, config, factory).unwrap();
+    network.run_until_halt(budget).unwrap();
+    let outputs = network.programs().iter().map(extract).collect();
+    (outputs, network.metrics().clone(), network.ledger().clone())
+}
+
+/// Runs the same execution as a two-process group over localhost TCP: two
+/// `Network` instances (one per rank, in threads), each stepping its owned
+/// half of the nodes, exchanging one frame per peer per round. Returns the
+/// spliced outputs plus *both* ranks' metrics/ledgers — the symmetric stats
+/// exchange must leave every rank with the identical global view.
+fn tcp_run<P, O>(
+    graph: &MultiGraph,
+    seed: u64,
+    budget: u32,
+    shards: usize,
+    factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy + Send + Sync,
+    extract: impl Fn(&P) -> O + Copy + Send + Sync,
+) -> Vec<Observables<O>>
+where
+    P: NodeProgram,
+    P::Message: WireCodec,
+    O: PartialEq + Debug + Send,
+{
+    const WORLD: usize = 2;
+    // Bind every rank's listener first (port 0 = OS-assigned), so the
+    // rendezvous has no port race by construction.
+    let listeners: Vec<TcpListener> = (0..WORLD)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|listener| listener.local_addr().unwrap())
+        .collect();
+    let mut per_rank: Vec<Observables<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let config = TcpConfig::new(rank, peers.clone());
+                scope.spawn(move || {
+                    let transport = TcpTransport::with_listener(listener, &config).unwrap();
+                    let mut network = Network::with_transport(
+                        graph,
+                        NetworkConfig::with_seed(seed).sharded(shards),
+                        FaultPlan::none(),
+                        transport,
+                        factory,
+                    )
+                    .unwrap();
+                    network.run_until_halt(budget).unwrap();
+                    let owned = network.owned_nodes();
+                    let outputs: Vec<O> = network.programs()[owned].iter().map(extract).collect();
+                    (outputs, network.metrics().clone(), network.ledger().clone())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect()
+    });
+    // Owned ranges are ascending and contiguous, so concatenating the
+    // per-rank outputs in rank order reassembles the full node order.
+    let spliced: Vec<O> = per_rank
+        .iter_mut()
+        .flat_map(|(outputs, _, _)| outputs.drain(..))
+        .collect();
+    per_rank[0].0 = spliced;
+    per_rank
+}
+
+/// The cross-backend identity contract of `docs/TRANSPORT.md`: the same
+/// program + workload + seed produces bit-identical outputs,
+/// [`ExecutionMetrics`] and [`MessageLedger`] on the in-process backend (at
+/// every shard count), on the wire-faithful mock (every payload
+/// encode/decoded), and on a two-rank TCP execution over localhost (where
+/// additionally *both* ranks must hold the identical global view).
+fn assert_backend_invariant<P, O>(
+    graph: &MultiGraph,
+    seed: u64,
+    budget: u32,
+    factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy + Send + Sync,
+    extract: impl Fn(&P) -> O + Copy + Send + Sync,
+    label: &str,
+) where
+    P: NodeProgram,
+    P::Message: WireCodec,
+    O: PartialEq + Debug + Send,
+{
+    let (ref_outputs, ref_metrics, ref_ledger) =
+        in_process_run(graph, seed, budget, 1, factory, extract);
+    for shards in SHARD_COUNTS {
+        let config = NetworkConfig::with_seed(seed).sharded(shards);
+        let mut mock_network = Network::with_transport(
+            graph,
+            config,
+            FaultPlan::none(),
+            MockTransport::new(),
+            factory,
+        )
+        .unwrap();
+        mock_network.run_until_halt(budget).unwrap();
+        let mock_outputs: Vec<O> = mock_network.programs().iter().map(extract).collect();
+        assert_eq!(
+            ref_outputs, mock_outputs,
+            "{label}: mock outputs differ at {shards} shards"
+        );
+        assert_eq!(
+            &ref_metrics,
+            mock_network.metrics(),
+            "{label}: mock metrics differ at {shards} shards"
+        );
+        assert_eq!(
+            &ref_ledger,
+            mock_network.ledger(),
+            "{label}: mock ledger differs at {shards} shards"
+        );
+
+        for (rank, (outputs, metrics, ledger)) in
+            tcp_run(graph, seed, budget, shards, factory, extract)
+                .into_iter()
+                .enumerate()
+        {
+            if rank == 0 {
+                assert_eq!(
+                    ref_outputs, outputs,
+                    "{label}: TCP outputs differ at {shards} shards"
+                );
+            }
+            assert_eq!(
+                ref_metrics, metrics,
+                "{label}: TCP rank {rank} metrics differ at {shards} shards"
+            );
+            assert_eq!(
+                ref_ledger, ledger,
+                "{label}: TCP rank {rank} ledger differs at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn luby_mis_is_backend_invariant() {
+    for (name, graph) in workloads() {
+        assert_backend_invariant(
+            &graph,
+            1,
+            300,
+            |_, knowledge| LubyMis::new(knowledge.degree()),
+            LubyMis::state,
+            &format!("luby-mis/{name}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_coloring_is_backend_invariant() {
+    for (name, graph) in workloads() {
+        assert_backend_invariant(
+            &graph,
+            2,
+            400,
+            |_, knowledge| RandomizedColoring::new(knowledge.degree()),
+            RandomizedColoring::color,
+            &format!("coloring/{name}"),
+        );
+    }
+}
+
+#[test]
+fn ball_gathering_is_backend_invariant() {
+    // Variable-length `Vec<u32>` payloads: the sizing law (4 bytes per
+    // token) is what keeps the byte columns identical across backends.
+    for (name, graph) in workloads() {
+        assert_backend_invariant(
+            &graph,
+            3,
+            50,
+            |node, _| BallGathering::new(node, 2),
+            BallGathering::known_ids,
+            &format!("ball-gathering/{name}"),
+        );
+    }
+}
+
+#[test]
+fn maximal_matching_is_backend_invariant() {
+    for (name, graph) in workloads() {
+        assert_backend_invariant(
+            &graph,
+            5,
+            300,
+            |_, _| MaximalMatching::new(),
+            MaximalMatching::matched_over,
+            &format!("matching/{name}"),
+        );
+    }
+}
+
+#[test]
+fn neutral_mock_reproduces_the_canonical_trace() {
+    // The mock supports tracing (it delivers serially in canonical order),
+    // so with no disturbances even the *trace* must be bit-identical to the
+    // in-process serial barrier — the strongest form of wire-faithfulness.
+    for (name, graph) in workloads() {
+        let run_traced = |mock: bool| {
+            let config = NetworkConfig::with_seed(21).traced(100_000);
+            let factory =
+                |_: NodeId, knowledge: &InitialKnowledge| LubyMis::new(knowledge.degree());
+            let trace = if mock {
+                let mut network = Network::with_transport(
+                    &graph,
+                    config,
+                    FaultPlan::none(),
+                    MockTransport::new(),
+                    factory,
+                )
+                .unwrap();
+                network.run_until_halt(300).unwrap();
+                network.trace().clone()
+            } else {
+                let mut network = Network::new(&graph, config, factory).unwrap();
+                network.run_until_halt(300).unwrap();
+                network.trace().clone()
+            };
+            trace
+        };
+        assert_eq!(run_traced(false), run_traced(true), "trace differs: {name}");
     }
 }
 

@@ -37,6 +37,7 @@ use freelunch::graph::generators::{
 };
 use freelunch::graph::traversal::ball;
 use freelunch::graph::{EdgeId, MultiGraph, NodeId};
+use freelunch::runtime::transport::{MockTransport, WireCodec};
 use freelunch::runtime::{
     ExecutionMetrics, FaultPlan, InitialKnowledge, MessageLedger, Network, NetworkConfig,
     NodeProgram, TraceMode,
@@ -458,6 +459,80 @@ fn fault_matrix_broadcast() {
             "ball-gathering/{workload}/{profile}: views contain fabricated IDs"
         );
     }
+}
+
+/// Fault plane × transport: the [`FaultPlan`] is resolved in the engine
+/// *before* the barrier hands frames to a backend, so swapping the
+/// in-process barrier for the wire-faithful mock must not move a single
+/// bit — same ChaCha keying, same per-cause drop/duplicate totals, same
+/// outputs, same error outcome. A reduced grid (first workload, every
+/// profile, shards {1, 2}) over two algorithms is enough to pin this:
+/// any keying drift would desynchronise the very first faulty round.
+#[test]
+fn fault_resolution_is_transport_independent() {
+    fn check<P, O>(
+        algo: &str,
+        seed: u64,
+        budget: u32,
+        factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy,
+        extract: impl Fn(&P) -> O + Copy,
+    ) where
+        P: NodeProgram,
+        P::Message: WireCodec,
+        O: PartialEq + Debug + Clone,
+    {
+        let (workload, graph) = workloads().remove(0);
+        for (profile, plan) in profiles(&graph) {
+            let label = format!("{algo}/{workload}/{profile}");
+            for shards in [1usize, 2] {
+                let reference = run_scenario(
+                    &graph,
+                    &plan,
+                    seed,
+                    budget,
+                    shards,
+                    TraceMode::Off,
+                    factory,
+                    extract,
+                );
+                let config = NetworkConfig::with_seed(seed).sharded(shards);
+                let mut network = Network::with_transport(
+                    &graph,
+                    config,
+                    plan.clone(),
+                    MockTransport::new(),
+                    factory,
+                )
+                .unwrap();
+                let error = network.run_until_halt(budget).err().map(|e| e.to_string());
+                let mock = Scenario {
+                    outputs: network.programs().iter().map(&extract).collect(),
+                    metrics: network.metrics().clone(),
+                    ledger: network.ledger().clone(),
+                    crashed: network.crashed_nodes(),
+                    error,
+                };
+                assert_eq!(
+                    reference, mock,
+                    "{label}: mock backend diverged at {shards} shards"
+                );
+            }
+        }
+    }
+    check(
+        "luby-mis",
+        1,
+        300,
+        |_, knowledge| LubyMis::new(knowledge.degree()),
+        LubyMis::state,
+    );
+    check(
+        "ball-gathering",
+        4,
+        BROADCAST_T + 2,
+        |node, _| BallGathering::new(node, BROADCAST_T),
+        BallGathering::known_ids,
+    );
 }
 
 #[test]

@@ -1,0 +1,233 @@
+//! Wire-codec law sweeps over every shipped message type.
+//!
+//! `docs/TRANSPORT.md` §3 states three laws every [`WireCodec`] must obey:
+//!
+//! 1. roundtrip — `decode(encode(m)) == m`;
+//! 2. sizing — the encoded length equals the shipping program's
+//!    `payload_bytes(m)`, byte for byte (this is what keeps the
+//!    [`MessageLedger`](freelunch::runtime::MessageLedger) identical across
+//!    backends);
+//! 3. rejection — `decode` errors on every buffer `encode` cannot produce
+//!    (truncated, oversized, unknown tag, non-zero padding).
+//!
+//! The sweeps below are deterministic (exhaustive tags × structured value
+//! grids), so a law violation is always reproducible.
+
+use freelunch::algorithms::broadcast::BallGathering;
+use freelunch::algorithms::coloring::{ColoringMessage, RandomizedColoring};
+use freelunch::algorithms::leader::LocalLeaderElection;
+use freelunch::algorithms::matching::{MatchingMessage, MaximalMatching};
+use freelunch::algorithms::mis::{LubyMis, MisMessage};
+use freelunch::core::sampler::distributed::{Level0Message, Level0Program};
+use freelunch::runtime::transport::{CodecError, WireCodec};
+use freelunch::runtime::NodeProgram;
+use std::fmt::Debug;
+
+/// The structured value grid the payload-carrying variants are swept over.
+const VALUE_GRID: [u64; 12] = [
+    0,
+    1,
+    2,
+    7,
+    0xFF,
+    0x100,
+    0xFFFF,
+    0x1_0000,
+    0xDEAD_BEEF,
+    u32::MAX as u64,
+    u64::MAX / 3,
+    u64::MAX,
+];
+
+/// Checks laws 1–3 for one message of one program type.
+fn check_message<P>(message: P::Message)
+where
+    P: NodeProgram,
+    P::Message: WireCodec + PartialEq,
+{
+    let encoded = message.encode_to_vec();
+
+    // Law 2: sizing — encoded length equals the ledger's payload_bytes.
+    assert_eq!(
+        encoded.len() as u64,
+        P::payload_bytes(&message),
+        "codec/payload_bytes mismatch for {message:?}"
+    );
+
+    // Law 1: roundtrip.
+    match P::Message::decode(&encoded) {
+        Ok(decoded) => assert!(decoded == message, "roundtrip mangled {message:?}"),
+        Err(err) => panic!("decode(encode({message:?})) failed: {err}"),
+    }
+
+    // Law 3a: no strict prefix may decode back to the original message.
+    // Fixed-size codecs reject every prefix outright; a variable-length
+    // codec (token bundles, delimited by the frame length) may accept a
+    // prefix, but only ever as a *different* message — truncation is never
+    // silent.
+    for cut in 0..encoded.len() {
+        if let Ok(decoded) = P::Message::decode(&encoded[..cut]) {
+            assert!(
+                decoded != message,
+                "{message:?} survived truncation to {cut} of {} bytes",
+                encoded.len()
+            );
+        }
+    }
+
+    // Law 3b: trailing garbage is rejected (both a zero byte, which also
+    // guards against padding confusion, and a non-zero one).
+    for extra in [0x00, 0xA5] {
+        let mut oversized = encoded.clone();
+        oversized.push(extra);
+        assert!(
+            P::Message::decode(&oversized).is_err(),
+            "{message:?} decoded with a trailing {extra:#04x} byte"
+        );
+    }
+}
+
+#[test]
+fn coloring_messages_obey_the_codec_laws() {
+    for value in VALUE_GRID {
+        let color = value as u32;
+        check_message::<RandomizedColoring>(ColoringMessage::Proposal(color));
+        check_message::<RandomizedColoring>(ColoringMessage::Final(color));
+    }
+}
+
+#[test]
+fn matching_messages_obey_the_codec_laws() {
+    for message in [
+        MatchingMessage::Propose,
+        MatchingMessage::Accept,
+        MatchingMessage::Retired,
+    ] {
+        check_message::<MaximalMatching>(message);
+    }
+}
+
+#[test]
+fn mis_messages_obey_the_codec_laws() {
+    for value in VALUE_GRID {
+        check_message::<LubyMis>(MisMessage::Priority(value));
+    }
+    check_message::<LubyMis>(MisMessage::Joined);
+    check_message::<LubyMis>(MisMessage::Retired);
+}
+
+#[test]
+fn level0_messages_obey_the_codec_laws() {
+    for message in [
+        Level0Message::Query,
+        Level0Message::Reply { is_center: false },
+        Level0Message::Reply { is_center: true },
+        Level0Message::Join,
+        Level0Message::Ack,
+    ] {
+        check_message::<Level0Program>(message);
+    }
+}
+
+#[test]
+fn leader_ids_obey_the_codec_laws() {
+    for value in VALUE_GRID {
+        check_message::<LocalLeaderElection>(value as u32);
+    }
+}
+
+#[test]
+fn token_bundles_obey_the_codec_laws() {
+    // Bundles of every length in 0..=17 plus a large one, filled from the
+    // value grid.
+    for len in (0..=17).chain([512]) {
+        let bundle: Vec<u32> = (0..len)
+            .map(|i| VALUE_GRID[i % VALUE_GRID.len()] as u32 ^ i as u32)
+            .collect();
+        check_message::<BallGathering>(bundle);
+    }
+}
+
+#[test]
+fn unknown_tags_are_rejected_not_misread() {
+    // Flip the tag byte of a valid encoding to every invalid value the
+    // type's tag space excludes; decode must answer InvalidTag, never a
+    // wrong message.
+    let coloring = ColoringMessage::Proposal(3).encode_to_vec();
+    for tag in 2..=255u8 {
+        let mut bad = coloring.clone();
+        bad[0] = tag;
+        assert_eq!(
+            ColoringMessage::decode(&bad),
+            Err(CodecError::InvalidTag { tag })
+        );
+    }
+    let mis = MisMessage::Joined.encode_to_vec();
+    for tag in 3..=255u8 {
+        let mut bad = mis.clone();
+        bad[0] = tag;
+        assert_eq!(
+            MisMessage::decode(&bad),
+            Err(CodecError::InvalidTag { tag })
+        );
+    }
+    let level0 = Level0Message::Ack.encode_to_vec();
+    for tag in 5..=255u8 {
+        let mut bad = level0.clone();
+        bad[0] = tag;
+        assert_eq!(
+            Level0Message::decode(&bad),
+            Err(CodecError::InvalidTag { tag })
+        );
+    }
+    let matching = MatchingMessage::Propose.encode_to_vec();
+    for tag in 3..=255u8 {
+        let mut bad = matching.clone();
+        bad[0] = tag;
+        assert_eq!(
+            MatchingMessage::decode(&bad),
+            Err(CodecError::InvalidTag { tag })
+        );
+    }
+}
+
+#[test]
+fn nonzero_padding_is_rejected() {
+    // Corrupting any padding byte of a padded encoding must be caught:
+    // otherwise a corrupted frame could silently alias a valid message.
+    fn corrupt_padding<M: WireCodec + Debug>(message: M, used: usize) {
+        let encoded = message.encode_to_vec();
+        for position in used..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[position] = 0x7F;
+            assert_eq!(
+                M::decode(&bad).map(drop),
+                Err(CodecError::InvalidPadding),
+                "padding corruption at byte {position} of {message:?} went unnoticed"
+            );
+        }
+    }
+    corrupt_padding(ColoringMessage::Final(9), 5);
+    corrupt_padding(MisMessage::Retired, 1);
+    corrupt_padding(MisMessage::Priority(4), 9);
+    corrupt_padding(Level0Message::Join, 1);
+    corrupt_padding(MatchingMessage::Accept, 1);
+}
+
+/// The runtime's built-in codecs (unit and integers) are swept here too so
+/// an engine-internal message type can ride a wire transport unchanged.
+#[test]
+fn builtin_codecs_obey_the_codec_laws() {
+    assert_eq!(().encode_to_vec().len(), 0);
+    assert_eq!(<()>::decode(&[]), Ok(()));
+    assert!(<()>::decode(&[0]).is_err());
+    for value in VALUE_GRID {
+        let encoded = value.encode_to_vec();
+        assert_eq!(encoded.len(), 8);
+        assert_eq!(u64::decode(&encoded), Ok(value));
+        assert!(u64::decode(&encoded[..7]).is_err());
+        let narrow = (value as u32).encode_to_vec();
+        assert_eq!(narrow.len(), 4);
+        assert_eq!(u32::decode(&narrow), Ok(value as u32));
+    }
+}
