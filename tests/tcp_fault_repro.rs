@@ -1,0 +1,93 @@
+//! Scratch repro: fault totals over a 2-rank TCP run vs in-process.
+
+use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::NodeId;
+use freelunch::runtime::transport::{TcpConfig, TcpTransport};
+use freelunch::runtime::{
+    Context, Envelope, FaultPlan, InitialKnowledge, Network, NetworkConfig, NodeProgram,
+};
+use std::net::{SocketAddr, TcpListener};
+
+#[derive(Debug)]
+struct Pinger {
+    rounds: u32,
+}
+
+impl NodeProgram for Pinger {
+    type Message = u32;
+
+    fn init(&mut self, ctx: &mut Context<'_, u32>) {
+        for port in 0..ctx.degree() {
+            ctx.send(port, 0);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: &[Envelope<u32>]) {
+        self.rounds += 1;
+        if self.rounds >= 10 {
+            ctx.halt();
+            return;
+        }
+        for port in 0..ctx.degree() {
+            ctx.send(port, self.rounds);
+        }
+    }
+}
+
+fn factory(_: NodeId, _: &InitialKnowledge) -> Pinger {
+    Pinger { rounds: 0 }
+}
+
+#[test]
+fn tcp_fault_totals_match_in_process() {
+    let graph = sparse_connected_erdos_renyi(&GeneratorConfig::new(16, 42), 0.3).unwrap();
+    let plan = || FaultPlan::new(7).with_drop_probability(0.2);
+
+    let mut reference = Network::with_fault_plan(
+        &graph,
+        NetworkConfig::with_seed(1),
+        plan(),
+        factory,
+    )
+    .unwrap();
+    reference.run_until_halt(100).unwrap();
+    let ref_totals = reference.ledger().fault_totals();
+
+    const WORLD: usize = 2;
+    let listeners: Vec<TcpListener> = (0..WORLD)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap())
+        .collect();
+    let totals: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let config = TcpConfig::new(rank, peers.clone());
+                scope.spawn(move || {
+                    let transport = TcpTransport::with_listener(listener, &config).unwrap();
+                    let mut network = Network::with_transport(
+                        &graph,
+                        NetworkConfig::with_seed(1),
+                        plan(),
+                        transport,
+                        factory,
+                    )
+                    .unwrap();
+                    network.run_until_halt(100).unwrap();
+                    network.ledger().fault_totals()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    println!("in-process totals: {ref_totals:?}");
+    println!("tcp rank0 totals:  {:?}", totals[0]);
+    println!("tcp rank1 totals:  {:?}", totals[1]);
+    assert_eq!(ref_totals, totals[0], "rank 0 diverged");
+    assert_eq!(ref_totals, totals[1], "rank 1 diverged");
+}
