@@ -64,6 +64,21 @@ impl BaswanaSen {
         2 * self.k - 1
     }
 
+    /// Rebuild-from-scratch comparator for the dynamic-graph experiments:
+    /// the rounds and messages a full re-run of the construction on the
+    /// current (post-churn) graph would cost. This is the `Θ(k·m)` bill an
+    /// incremental repair
+    /// ([`IncrementalSpanner`](freelunch_core::maintain::IncrementalSpanner))
+    /// avoids paying on every event; `exp_churn` reports the two side by
+    /// side (see `docs/CHURN.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is empty.
+    pub fn rebuild_cost(&self, graph: &MultiGraph, seed: u64) -> BaselineResult<CostReport> {
+        Ok(self.run(graph, seed)?.cost)
+    }
+
     /// Runs the construction.
     ///
     /// # Errors
@@ -327,6 +342,17 @@ mod tests {
             algorithm.run(&graph, 11).unwrap().spanner,
             algorithm.run(&graph, 11).unwrap().spanner
         );
+    }
+
+    #[test]
+    fn rebuild_cost_matches_a_full_run_and_scales_with_m() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(80, 6), 0.2).unwrap();
+        let algorithm = BaswanaSen::new(2).unwrap();
+        let cost = algorithm.rebuild_cost(&graph, 9).unwrap();
+        assert_eq!(cost, algorithm.run(&graph, 9).unwrap().cost);
+        // A rebuild always pays the Ω(m) cluster-identifier waves.
+        assert!(cost.messages >= graph.edge_count() as u64);
+        assert!(algorithm.rebuild_cost(&MultiGraph::new(0), 0).is_err());
     }
 
     #[test]

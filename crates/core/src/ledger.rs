@@ -38,6 +38,11 @@ pub enum CostPhase {
     /// The `t`-local broadcast / flooding stage that delivers the simulated
     /// algorithm's information.
     Broadcast,
+    /// Incremental repair of an already-built spanner after a churn event
+    /// (edge insert/delete) — the price of keeping the scheme's backbone
+    /// valid on a dynamic graph instead of rebuilding it from scratch. See
+    /// `docs/CHURN.md` for the repair-vs-rebuild contract.
+    Maintenance,
     /// Running the simulated algorithm directly on `G` — the reference the
     /// scheme competes with. Never counted into the scheme's own cost.
     DirectExecution,
@@ -50,6 +55,7 @@ impl CostPhase {
             CostPhase::SpannerConstruction => "spanner",
             CostPhase::SecondStageSimulation => "second-stage-sim",
             CostPhase::Broadcast => "broadcast",
+            CostPhase::Maintenance => "maintenance",
             CostPhase::DirectExecution => "direct",
         }
     }
@@ -297,10 +303,33 @@ mod tests {
     }
 
     #[test]
+    fn maintenance_counts_into_the_scheme_cost() {
+        let mut ledger = Ledger::new();
+        ledger.charge(
+            CostPhase::SpannerConstruction,
+            "build",
+            CostReport::new(4, 50),
+        );
+        ledger.charge(
+            CostPhase::Maintenance,
+            "repair after churn",
+            CostReport::new(2, 10),
+        );
+        ledger.charge(CostPhase::DirectExecution, "d", CostReport::new(1, 300));
+        assert_eq!(ledger.scheme_cost(), CostReport::new(6, 60));
+        assert_eq!(ledger.free_lunch_ratio(), Some(5.0));
+        assert_eq!(
+            ledger.phase_cost(CostPhase::Maintenance),
+            CostReport::new(2, 10)
+        );
+    }
+
+    #[test]
     fn phase_labels_are_stable() {
         assert_eq!(CostPhase::SpannerConstruction.label(), "spanner");
         assert_eq!(CostPhase::SecondStageSimulation.label(), "second-stage-sim");
         assert_eq!(CostPhase::Broadcast.label(), "broadcast");
+        assert_eq!(CostPhase::Maintenance.label(), "maintenance");
         assert_eq!(CostPhase::DirectExecution.label(), "direct");
     }
 }

@@ -13,9 +13,12 @@
 //! * [`reduction`] — `t`-local broadcast over a spanner, the single-stage
 //!   and two-stage message-reduction schemes, and the machinery for
 //!   simulating arbitrary LOCAL algorithms with `o(m)` messages;
+//! * [`maintain`] — incremental repair of a stretch-3 cluster spanner under
+//!   edge churn, metered per repair so dynamic-graph experiments can charge
+//!   maintenance to its own ledger phase (see `docs/CHURN.md`);
 //! * [`ledger`] — the phase-attributed cost ledger: spanner construction
-//!   vs. simulation vs. direct execution, with measured free-lunch ratios
-//!   (the contract is documented in `docs/METRICS.md`);
+//!   vs. maintenance vs. simulation vs. direct execution, with measured
+//!   free-lunch ratios (the contract is documented in `docs/METRICS.md`);
 //! * [`params`] — the `(k, h, c)` parameter space of Theorem 2.
 //!
 //! # Examples
@@ -47,6 +50,7 @@
 
 pub mod error;
 pub mod ledger;
+pub mod maintain;
 pub mod params;
 pub mod reduction;
 pub mod sampler;
@@ -54,6 +58,7 @@ pub mod spanner_api;
 
 pub use error::{CoreError, CoreResult};
 pub use ledger::{CostPhase, Ledger, LedgerEntry};
+pub use maintain::{IncrementalSpanner, RepairReport};
 pub use params::{ConstantPolicy, FallbackPolicy, SamplerParams};
 pub use sampler::{Sampler, SamplerOutcome};
 pub use spanner_api::{SpannerAlgorithm, SpannerResult};

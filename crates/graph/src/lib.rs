@@ -14,6 +14,9 @@
 //!   distinct-neighbor sets and array-indexed edge lookup for the hot loops
 //!   of the runtime and the traversal routines ([`Topology`] abstracts over
 //!   both representations);
+//! * [`OverlayGraph`] — the mutable overlay over a frozen [`CsrGraph`] that
+//!   the runtime's churn plane applies edge/node updates to without a
+//!   re-freeze per event;
 //! * [`cluster`] — cluster collections and the cluster-graph contraction
 //!   `G(C)` used between the levels of the `Sampler` hierarchy;
 //! * [`traversal`] — BFS distances, balls `B_{G,t}(v)`, connectivity and
@@ -50,6 +53,7 @@ pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod multigraph;
+pub mod overlay;
 pub mod spanner_check;
 pub mod traversal;
 
@@ -59,3 +63,4 @@ pub use csr::{CsrGraph, Topology};
 pub use error::{GraphError, GraphResult};
 pub use ids::{ClusterId, EdgeId, NodeId};
 pub use multigraph::{Edge, IncidentEdge, MultiGraph};
+pub use overlay::OverlayGraph;

@@ -230,6 +230,34 @@ impl MultiGraph {
         Ok(())
     }
 
+    /// Removes the edge with identifier `id` and returns it.
+    ///
+    /// Removal is `O(deg(u) + deg(v))`. The relative storage order of the
+    /// remaining edges is **unspecified** afterwards (removal swaps the last
+    /// edge into the vacated slot), so code that relies on
+    /// [`MultiGraph::edges`] iterating in insertion order must not observe a
+    /// graph after removals. Adjacency lists keep their relative order. The
+    /// removed identifier may be reused by a later
+    /// [`MultiGraph::add_edge_with_id`], but [`MultiGraph::add_edge`] never
+    /// hands it out again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if no such edge exists.
+    pub fn remove_edge(&mut self, id: EdgeId) -> GraphResult<Edge> {
+        let idx = self
+            .edge_index
+            .remove(&id)
+            .ok_or(GraphError::UnknownEdge { edge: id })?;
+        let removed = self.edges.swap_remove(idx);
+        if let Some(moved) = self.edges.get(idx) {
+            self.edge_index.insert(moved.id, idx);
+        }
+        self.adjacency[removed.u.index()].retain(|ie| ie.edge != id);
+        self.adjacency[removed.v.index()].retain(|ie| ie.edge != id);
+        Ok(removed)
+    }
+
     /// Returns `true` if the graph contains an edge with identifier `id`.
     pub fn contains_edge(&self, id: EdgeId) -> bool {
         self.edge_index.contains_key(&id)
@@ -609,5 +637,51 @@ mod tests {
     fn from_edges_propagates_errors() {
         assert!(MultiGraph::from_edges(2, [(n(0), n(0))]).is_err());
         assert!(MultiGraph::from_edges(2, [(n(0), n(3))]).is_err());
+    }
+
+    #[test]
+    fn remove_edge_detaches_both_endpoints() {
+        let mut g = triangle();
+        let removed = g.remove_edge(EdgeId::new(1)).unwrap();
+        assert_eq!((removed.u, removed.v), (n(1), n(2)));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.contains_edge(EdgeId::new(1)));
+        assert!(!g.has_edge_between(n(1), n(2)));
+        assert_eq!(g.degree(n(1)), 1);
+        assert_eq!(g.degree(n(2)), 1);
+        // The surviving edges are still addressable after the swap-remove.
+        assert_eq!(g.endpoints(EdgeId::new(0)).unwrap(), (n(0), n(1)));
+        assert_eq!(g.endpoints(EdgeId::new(2)).unwrap(), (n(2), n(0)));
+        assert!(g.remove_edge(EdgeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn remove_edge_keeps_parallel_siblings() {
+        let mut g = MultiGraph::new(2);
+        let a = g.add_edge(n(0), n(1)).unwrap();
+        let b = g.add_edge(n(0), n(1)).unwrap();
+        g.remove_edge(a).unwrap();
+        assert_eq!(g.edges_between(n(0), n(1)), vec![b]);
+        assert_eq!(g.degree(n(0)), 1);
+        // The auto-ID counter does not reuse the removed identifier.
+        let c = g.add_edge(n(0), n(1)).unwrap();
+        assert_eq!(c, EdgeId::new(2));
+        // ... but explicit re-insertion of a removed ID is allowed.
+        g.add_edge_with_id(a, n(0), n(1)).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn remove_then_add_round_trips_the_adjacency() {
+        let mut g = triangle();
+        for id in [0u64, 1, 2] {
+            let e = g.remove_edge(EdgeId::new(id)).unwrap();
+            g.add_edge_with_id(e.id, e.u, e.v).unwrap();
+        }
+        assert_eq!(g.edge_count(), 3);
+        for node in g.nodes() {
+            assert_eq!(g.degree(node), 2);
+        }
+        assert_eq!(g.incidence_count(), 6);
     }
 }

@@ -1,0 +1,164 @@
+//! Repair ≡ rebuild, after **every** event: the incremental-maintenance
+//! equivalence sweep.
+//!
+//! `freelunch_core::maintain::IncrementalSpanner` promises that repairing
+//! an already-built spanner after an edge insert or delete leaves it
+//! satisfying the same stretch bound a from-scratch rebuild would (see
+//! `docs/CHURN.md` for the repair-vs-rebuild contract). This sweep drives
+//! seeded insert/delete streams over the ER, scale-free and community
+//! families (≤ 64 nodes) and, **after every single event**:
+//!
+//! 1. verifies the repaired spanner with [`verify_edge_stretch`] — the
+//!    workspace's independent per-pair BFS oracle, itself pinned by
+//!    `spanner_stretch_sweep.rs` — against the repairer's stretch bound;
+//! 2. rebuilds a spanner from scratch on the *current* graph with the same
+//!    construction and seed, and verifies it satisfies the same bound — so
+//!    the repaired and rebuilt backbones are held to the identical oracle
+//!    at the identical topology, event by event;
+//! 3. checks the repairer's structural invariants and that its spanner is
+//!    a subset of the live edge set.
+//!
+//! A repair shortcut that silently leaked stretch (or kept a deleted edge
+//! in the backbone) would fail within one event of the mistake, with the
+//! full event index in the panic message.
+
+use freelunch_core::maintain::IncrementalSpanner;
+use freelunch_graph::generators::{
+    barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
+};
+use freelunch_graph::spanner_check::verify_edge_stretch;
+use freelunch_graph::{EdgeId, MultiGraph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// The graph sweep: three generator families × sizes up to 64 × seeds.
+fn sweep() -> Vec<(String, MultiGraph)> {
+    let mut graphs = Vec::new();
+    for n in [16usize, 33, 64] {
+        for seed in [1u64, 2] {
+            let config = GeneratorConfig::new(n, seed);
+            graphs.push((
+                format!("er/n={n}/seed={seed}"),
+                sparse_connected_erdos_renyi(&config, 4.0).unwrap(),
+            ));
+            graphs.push((
+                format!("scale-free/n={n}/seed={seed}"),
+                barabasi_albert(&config, 2).unwrap(),
+            ));
+            // The sparse planted-partition generator needs blocks comfortably
+            // larger than the intra-community degree.
+            if n >= 33 {
+                graphs.push((
+                    format!("communities/n={n}/seed={seed}"),
+                    sparse_planted_partition(&config, 4, 5.0, 1.0).unwrap(),
+                ));
+            }
+        }
+    }
+    graphs
+}
+
+/// One seeded event: an insert of a fresh edge between random endpoints,
+/// or a delete of a random live edge (biased towards deletes so streams
+/// also thin the graph they started from).
+fn apply_random_event(
+    rng: &mut ChaCha8Rng,
+    spanner: &mut IncrementalSpanner,
+    next_edge: &mut u64,
+) -> String {
+    let n = spanner.graph().node_count() as u32;
+    let live: Vec<EdgeId> = spanner.graph().edge_ids().collect();
+    let delete = !live.is_empty() && rng.gen_bool(0.55);
+    if delete {
+        let edge = live[rng.gen_range(0..live.len())];
+        spanner.delete_edge(edge).unwrap();
+        format!("delete {edge}")
+    } else {
+        let u = NodeId::new(rng.gen_range(0..n));
+        let mut v = NodeId::new(rng.gen_range(0..n));
+        while v == u {
+            v = NodeId::new(rng.gen_range(0..n));
+        }
+        let edge = EdgeId::new(*next_edge);
+        *next_edge += 1;
+        spanner.insert_edge(edge, u, v).unwrap();
+        format!("insert {edge} = ({u}, {v})")
+    }
+}
+
+/// After every event of a 60-step stream: the repaired spanner and a
+/// from-scratch rebuild on the identical topology both satisfy the same
+/// stretch bound under the same oracle.
+#[test]
+fn repaired_spanner_matches_a_rebuild_after_every_event() {
+    const EVENTS: usize = 60;
+    const SEED: u64 = 97;
+    for (name, graph) in sweep() {
+        let mut spanner = IncrementalSpanner::new(&graph, SEED).unwrap();
+        let mut next_edge = graph.edge_ids().map(EdgeId::raw).max().map_or(0, |e| e + 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0xD15C_0DE5);
+        let bound = spanner.stretch_bound();
+        for step in 0..EVENTS {
+            let event = apply_random_event(&mut rng, &mut spanner, &mut next_edge);
+            let label = format!("{name}: event {step} ({event})");
+
+            // The repairer's own structural invariants, and containment:
+            // the backbone never references a deleted edge.
+            spanner.check_invariants().unwrap_or_else(|e| {
+                panic!("{label}: invariant broke after repair: {e}");
+            });
+            let live: BTreeSet<EdgeId> = spanner.graph().edge_ids().collect();
+            for edge in spanner.spanner_edges() {
+                assert!(
+                    live.contains(&edge),
+                    "{label}: spanner kept dead edge {edge}"
+                );
+            }
+
+            // Oracle on the repaired spanner.
+            let repaired = verify_edge_stretch(spanner.graph(), spanner.spanner_edges()).unwrap();
+            assert!(
+                repaired.satisfies(bound),
+                "{label}: repaired stretch {} exceeds {bound}",
+                repaired.max_stretch
+            );
+
+            // Oracle on a from-scratch rebuild of the *same* topology with
+            // the same construction and seed.
+            let rebuilt = IncrementalSpanner::new(spanner.graph(), SEED).unwrap();
+            assert_eq!(rebuilt.stretch_bound(), bound);
+            let scratch = verify_edge_stretch(rebuilt.graph(), rebuilt.spanner_edges()).unwrap();
+            assert!(
+                scratch.satisfies(bound),
+                "{label}: rebuilt stretch {} exceeds {bound}",
+                scratch.max_stretch
+            );
+        }
+        // The stream must have actually exercised repairs.
+        assert_eq!(spanner.repairs(), EVENTS as u64, "{name}");
+    }
+}
+
+/// Determinism of the whole maintenance pipeline: the same initial graph,
+/// seed and event stream reproduce bit-identical spanners and repair
+/// bills — churn maintenance adds no hidden nondeterminism on top of the
+/// seeded construction.
+#[test]
+fn maintenance_replays_bit_identically() {
+    let (name, graph) = sweep().remove(0);
+    let run = || {
+        let mut spanner = IncrementalSpanner::new(&graph, 5).unwrap();
+        let mut next_edge = graph.edge_ids().map(EdgeId::raw).max().map_or(0, |e| e + 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..40 {
+            apply_random_event(&mut rng, &mut spanner, &mut next_edge);
+        }
+        (
+            spanner.spanner_edges(),
+            spanner.maintenance_cost(),
+            spanner.repairs(),
+        )
+    };
+    assert_eq!(run(), run(), "{name}: maintenance replay diverged");
+}

@@ -93,6 +93,7 @@
 //! # }
 //! ```
 
+use crate::churn::{ChurnDriver, ChurnEvent, ChurnPlan};
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::fault::{FaultPlan, MessageFate, ResolvedFaultPlan};
 use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
@@ -100,7 +101,7 @@ use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, FaultCause, 
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
 use crate::trace::{Trace, TraceMode};
 use crate::transport::{InProcessTransport, RoundBarrier, Transport};
-use freelunch_graph::{CsrGraph, MultiGraph, NodeId};
+use freelunch_graph::{CsrGraph, IncidentEdge, MultiGraph, NodeId, OverlayGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -295,6 +296,17 @@ pub struct Network<
     /// Scratch buffer of the fault pre-pass (reused across rounds; empty and
     /// untouched on the failure-free path).
     fault_scratch: Vec<Outgoing<P::Message>>,
+    /// Installed churn driver, holding the plan's keyed event streams and
+    /// the mutable [`OverlayGraph`] view of the topology. `None` on the
+    /// static fast path — including when the caller passed an *empty*
+    /// plan, which is how "empty plan ≡ no plan" is byte-identical by
+    /// construction.
+    churn: Option<ChurnDriver>,
+    /// Churn events applied at the top of the current round, in canonical
+    /// order; handed to the transport at the barrier
+    /// ([`RoundBarrier::churn`]) and exposed through
+    /// [`Network::last_churn_events`]. Always empty without a driver.
+    churn_events: Vec<ChurnEvent>,
     trace: Trace,
     round: u32,
     initialized: bool,
@@ -346,6 +358,52 @@ impl<P: NodeProgram> Network<P> {
     ) -> RuntimeResult<Self> {
         Network::with_transport(graph, config, plan, InProcessTransport::new(), factory)
     }
+
+    /// Builds a network like [`Network::new`], additionally subjecting the
+    /// topology to the given deterministic [`ChurnPlan`]: edge
+    /// inserts/deletes and node joins/leaves applied in canonical order at
+    /// the top of each round, over a mutable [`OverlayGraph`] view of the
+    /// frozen graph. See [`churn`](crate::churn) for the event model and
+    /// `docs/CHURN.md` for the full contract.
+    ///
+    /// Installing the *empty* plan ([`ChurnPlan::is_empty`]) is guaranteed
+    /// to be byte-identical to [`Network::new`]: the engine does no churn
+    /// work at all in that case. With a non-empty plan, every observable
+    /// stays bit-identical across shard counts, trace modes, and transport
+    /// backends at equal `(config.seed, plan.seed)`.
+    ///
+    /// Semantics under churn (the parts visible to programs):
+    ///
+    /// * [`Context::broadcast`] and [`Context::send_port`] address the
+    ///   *live* incidence list (ports shift as edges come and go), while
+    ///   [`Context::knowledge`] stays the construction-time snapshot — the
+    ///   paper's initial-knowledge assumptions are about round 0;
+    /// * messages already in flight when their edge is deleted (or their
+    ///   receiver leaves) are still delivered — they were sent while the
+    ///   edge existed; a departed node simply never reads its inbox;
+    /// * a departed node is not stepped and counts as halted; a rejoining
+    ///   node is stepped again from its retained program state.
+    ///
+    /// # Errors
+    ///
+    /// Returns every error [`Network::new`] can, plus an invalid-config
+    /// error if the plan's rates are outside `[0, 1]` or a scheduled event
+    /// references a node outside the graph.
+    pub fn with_churn_plan(
+        graph: &MultiGraph,
+        config: NetworkConfig,
+        plan: ChurnPlan,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        Network::with_plans(
+            graph,
+            config,
+            FaultPlan::none(),
+            plan,
+            InProcessTransport::new(),
+            factory,
+        )
+    }
 }
 
 impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
@@ -367,6 +425,34 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         graph: &MultiGraph,
         config: NetworkConfig,
         plan: FaultPlan,
+        transport: T,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        Network::with_plans(graph, config, plan, ChurnPlan::none(), transport, factory)
+    }
+
+    /// The fully general constructor: an explicit delivery backend plus
+    /// *both* deterministic plans — the [`FaultPlan`] of
+    /// [`Network::with_fault_plan`] and the [`ChurnPlan`] of
+    /// [`Network::with_churn_plan`]. Every other constructor delegates here
+    /// with the respective empty plan, so an empty plan is byte-identical
+    /// to not passing one by construction.
+    ///
+    /// Faults and churn compose: churn is applied at the top of the round
+    /// (before programs step), faults act on the messages those programs
+    /// then send. Under both plans the fault plane's port tables are
+    /// rebuilt from the live overlay after every churn round.
+    ///
+    /// # Errors
+    ///
+    /// The union of [`Network::with_transport`]'s,
+    /// [`Network::with_fault_plan`]'s and [`Network::with_churn_plan`]'s
+    /// error conditions.
+    pub fn with_plans(
+        graph: &MultiGraph,
+        config: NetworkConfig,
+        plan: FaultPlan,
+        churn_plan: ChurnPlan,
         transport: T,
         mut factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
     ) -> RuntimeResult<Self> {
@@ -417,6 +503,14 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
                     .map_err(RuntimeError::invalid_config)?,
             )
         };
+        churn_plan
+            .validate()
+            .map_err(RuntimeError::invalid_config)?;
+        let churn = if churn_plan.is_empty() {
+            None
+        } else {
+            Some(ChurnDriver::new(churn_plan, &csr)?)
+        };
         let (port_silence, edge_ports) = if faults.is_some() {
             let silence = (0..node_count)
                 .map(|v| vec![0u32; csr.incident_edges(NodeId::from_usize(v)).len()])
@@ -463,6 +557,8 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
             port_silence,
             edge_ports,
             fault_scratch: Vec::new(),
+            churn,
+            churn_events: Vec::new(),
             trace: Trace::with_capacity(config.trace_capacity),
             round: 0,
             initialized: false,
@@ -572,6 +668,27 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         self.faults.as_ref().map(ResolvedFaultPlan::plan)
     }
 
+    /// The installed [`ChurnPlan`], if any. `None` both when no plan was
+    /// installed and when an empty one was (the two are indistinguishable
+    /// by design: an empty plan emits nothing).
+    pub fn churn_plan(&self) -> Option<&ChurnPlan> {
+        self.churn.as_ref().map(ChurnDriver::plan)
+    }
+
+    /// The live topology under churn: the [`OverlayGraph`] the installed
+    /// churn driver maintains. `None` without a (non-empty) churn plan —
+    /// the topology is then the frozen [`Network::graph`] forever.
+    pub fn churn_overlay(&self) -> Option<&OverlayGraph> {
+        self.churn.as_ref().map(ChurnDriver::overlay)
+    }
+
+    /// The churn events applied at the top of the current round, in
+    /// canonical application order (empty without a churn plan, and empty
+    /// again after a round in which the plan emitted nothing).
+    pub fn last_churn_events(&self) -> &[ChurnEvent] {
+        &self.churn_events
+    }
+
     /// Returns `true` if `node` has crashed by the current round (it no
     /// longer participates; its program state is frozen at the pre-crash
     /// value). Always `false` without a fault plan.
@@ -627,6 +744,7 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         let inboxes = &self.inboxes;
         let faults = self.faults.as_ref();
         let port_silence = &self.port_silence;
+        let overlay = self.churn.as_ref().map(ChurnDriver::overlay);
 
         let step = |index: usize,
                     program: &mut P,
@@ -644,10 +762,24 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
                     return None;
                 }
             }
+            // Under churn, a departed node is not stepped either — but its
+            // program state is retained, so a later NodeJoin resumes it.
+            if let Some(overlay) = overlay {
+                if !overlay.is_active(NodeId::from_usize(index)) {
+                    *halted = true;
+                    return None;
+                }
+            }
+            // The incidence slice programs address ports against: the live
+            // overlay view under churn, the frozen CSR otherwise.
+            let ports: &[IncidentEdge] = match overlay {
+                Some(overlay) => overlay.incident_edges(NodeId::from_usize(index)),
+                None => csr.incident_edges(NodeId::from_usize(index)),
+            };
             let silence: &[u32] = port_silence.get(index).map_or(&[], Vec::as_slice);
             let mut ctx = Context::new(
                 &knowledge[index],
-                csr.incident_edges(NodeId::from_usize(index)),
+                ports,
                 edge_endpoints,
                 round,
                 rng,
@@ -768,6 +900,7 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
             metrics: &mut self.metrics,
             ledger: &mut self.ledger,
             trace: &mut self.trace,
+            churn: &self.churn_events,
         })?;
         self.in_flight = outcome.delivered as usize;
         self.remote_halted = outcome.remote_halted;
@@ -873,6 +1006,81 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         }
     }
 
+    /// Churn pass of the round: draws and applies this round's events from
+    /// the installed plan (a no-op without one), updates the engine's dense
+    /// edge tables and halted flags, and — under a fault plan — rebuilds
+    /// the fault plane's port tables from the live overlay. Runs at the top
+    /// of the round, *before* the execute phase, so programs already see
+    /// the updated topology; messages sent in the previous round are still
+    /// delivered this round even if their edge just vanished (they were in
+    /// flight at the barrier).
+    fn apply_churn(&mut self, round: u32) -> RuntimeResult<()> {
+        self.churn_events.clear();
+        let Some(churn) = &mut self.churn else {
+            return Ok(());
+        };
+        let events = churn.apply_round(round)?;
+        for &event in &events {
+            match event {
+                ChurnEvent::EdgeInsert { edge, u, v } => {
+                    let slot = edge.index();
+                    if slot >= self.edge_endpoints.len() {
+                        self.edge_endpoints
+                            .resize(slot + 1, [CsrGraph::NO_ENDPOINT; 2]);
+                    }
+                    self.edge_endpoints[slot] = [u.raw(), v.raw()];
+                    // The ledger gains a counter for the new edge; existing
+                    // counters (and history) are untouched.
+                    self.ledger.ensure_edge_slots(slot + 1);
+                }
+                ChurnEvent::EdgeDelete { edge } => {
+                    // A deleted edge becomes unknown to `Context::send`;
+                    // its ledger counters keep their history.
+                    self.edge_endpoints[edge.index()] = [CsrGraph::NO_ENDPOINT; 2];
+                }
+                ChurnEvent::NodeLeave { node } => {
+                    // Departed nodes count as halted so executions still
+                    // terminate (mirrors crashed nodes).
+                    self.halted[node.index()] = true;
+                }
+                ChurnEvent::NodeJoin { node } => {
+                    self.halted[node.index()] = false;
+                }
+            }
+        }
+        if self.faults.is_some() && !events.is_empty() {
+            // Rebuild the fault plane's dense port tables from the live
+            // overlay: ports shift when incidence lists change, and a
+            // node whose degree changed gets fresh silence counters (the
+            // old per-port numbering is meaningless).
+            let overlay = self
+                .churn
+                .as_ref()
+                .expect("events imply an installed driver")
+                .overlay();
+            let edge_endpoints = &self.edge_endpoints;
+            self.edge_ports.clear();
+            self.edge_ports.resize(edge_endpoints.len(), [u32::MAX; 2]);
+            for (v, counters) in self.port_silence.iter_mut().enumerate() {
+                let me = v as u32;
+                let incident = overlay.incident_edges(NodeId::from_usize(v));
+                for (port, ie) in incident.iter().enumerate() {
+                    let slot = if edge_endpoints[ie.edge.index()][0] == me {
+                        0
+                    } else {
+                        1
+                    };
+                    self.edge_ports[ie.edge.index()][slot] = port as u32;
+                }
+                if counters.len() != incident.len() {
+                    *counters = vec![0; incident.len()];
+                }
+            }
+        }
+        self.churn_events = events;
+        Ok(())
+    }
+
     /// Runs the initialization phase (safe to call multiple times; only the
     /// first call has an effect). Messages sent during initialization are
     /// delivered in round 1 and counted in the round-0 slot of the metrics.
@@ -885,6 +1093,7 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         if self.initialized {
             return Ok(());
         }
+        self.apply_churn(0)?;
         self.execute_phase(0, Phase::Init)?;
         self.dispatch_phase(0)?;
         self.initialized = true;
@@ -908,8 +1117,18 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         // (capacity kept) by the dispatch phase before it refills it.
         std::mem::swap(&mut self.inboxes, &mut self.pending);
         self.in_flight = 0;
+        // Silence counters first (they describe the round that just
+        // delivered, on its port numbering), then this round's churn.
         self.update_port_silence();
         let round = self.round;
+        if let Err(error) = self.apply_churn(round) {
+            // Same cleanup as an execute-phase error below: the barrier
+            // never runs, so drop the stale back buffer.
+            for mailbox in &mut self.pending {
+                mailbox.clear();
+            }
+            return Err(error);
+        }
         if let Err(error) = self.execute_phase(round, Phase::Round) {
             // The barrier never ran, so the back buffer still holds the
             // (already delivered) envelopes of two rounds ago. Drop them:

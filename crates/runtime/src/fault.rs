@@ -390,10 +390,14 @@ impl ResolvedFaultPlan {
     }
 
     /// Returns `true` if the edge with dense index `edge_index` is cut in
-    /// `round`.
+    /// `round`. Edges beyond the resolved range (churn-inserted after the
+    /// plan was resolved against the initial graph) can never be scheduled
+    /// for a cut, so they are never cut.
     #[inline]
     pub(crate) fn link_cut_at(&self, edge_index: usize, round: u32) -> bool {
-        self.cut_from[edge_index] <= round
+        self.cut_from
+            .get(edge_index)
+            .is_some_and(|&from| from <= round)
     }
 
     /// Returns `true` if the node with index `node_index` does not

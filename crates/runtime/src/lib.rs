@@ -29,6 +29,13 @@
 //! See [`fault`] for the model and `docs/METRICS.md` for how dropped and
 //! duplicated traffic is accounted.
 //!
+//! The communication graph itself can evolve under a seeded [`ChurnPlan`]:
+//! edge inserts/deletes and node joins/leaves resolved from the same keyed
+//! ChaCha stream discipline, applied in canonical order at the round barrier
+//! over a mutable [`freelunch_graph::OverlayGraph`] view of the frozen
+//! topology. See [`churn`] for the event model and `docs/CHURN.md` for the
+//! repair-vs-rebuild contract.
+//!
 //! Messages move through a zero-allocation, double-buffered mailbox plane:
 //! sends are resolved (validated, receiver looked up) at send time, every
 //! buffer is reused across rounds, and per-message trace recording is
@@ -75,6 +82,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -84,6 +92,7 @@ pub mod node;
 pub mod trace;
 pub mod transport;
 
+pub use churn::{ChurnDriver, ChurnEvent, ChurnEventSpec, ChurnPlan, ScheduledChurn};
 pub use engine::{Network, NetworkConfig};
 pub use error::{RuntimeError, RuntimeResult};
 pub use fault::{CrashSchedule, FaultPlan, LinkCut, MessageFate};

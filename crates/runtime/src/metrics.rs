@@ -386,6 +386,18 @@ impl MessageLedger {
         self.record(edge.index(), payload_bytes);
     }
 
+    /// Grows the per-edge counters to at least `edge_slots` slots, filling
+    /// new slots with zeros. Used by the engine when a churn plan inserts an
+    /// edge whose ID lies beyond the frozen topology's slot range; shrinking
+    /// never happens (deleted edges keep their historical counters).
+    pub fn ensure_edge_slots(&mut self, edge_slots: usize) {
+        if edge_slots > self.messages_per_edge.len() {
+            self.messages_per_edge.resize(edge_slots, 0);
+            self.bytes_per_edge.resize(edge_slots, 0);
+            self.round_edge_counts.resize(edge_slots, 0);
+        }
+    }
+
     /// Records that fault injection dropped one message in the current round
     /// slot, attributed to `cause`. Dropped messages appear *only* here —
     /// they never reach the per-edge or per-round delivery counters.
@@ -680,6 +692,20 @@ mod tests {
         other.record(0, 4);
         other.record(0, 4);
         assert_ne!(ledger, other);
+    }
+
+    #[test]
+    fn ensure_edge_slots_grows_but_never_shrinks() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.record(1, 4);
+        ledger.ensure_edge_slots(4);
+        assert_eq!(ledger.edge_slots(), 4);
+        assert_eq!(ledger.messages_per_edge(), &[0, 1, 0, 0]);
+        assert_eq!(ledger.bytes_per_edge(), &[0, 4, 0, 0]);
+        ledger.record(3, 8); // the new slot is immediately recordable
+        assert_eq!(ledger.messages_per_edge(), &[0, 1, 0, 1]);
+        ledger.ensure_edge_slots(1); // shrink requests are no-ops
+        assert_eq!(ledger.edge_slots(), 4);
     }
 
     #[test]

@@ -150,6 +150,17 @@ impl<M: Send + Sync> InProcessTransport<M> {
         let scratch = self
             .scratch
             .get_or_insert_with(|| DispatchScratch::new(edge_slots, shards));
+        // A churn plan can grow the ledger's edge-slot range after the
+        // scratch was first sized (edge inserts); grow the accumulators to
+        // match. New slots start at zero, like the originals.
+        if scratch.edge_counts.len() < edge_slots {
+            scratch
+                .edge_counts
+                .resize_with(edge_slots, || AtomicU32::new(0));
+            scratch
+                .edge_bytes
+                .resize_with(edge_slots, || AtomicU64::new(0));
+        }
         if self.buckets.is_empty() {
             self.buckets.resize_with(shards * shards, Vec::new);
             self.bucket_scratch.resize_with(shards * shards, Vec::new);

@@ -152,8 +152,26 @@ impl<M: WireCodec + Send + Sync + Clone + std::fmt::Debug> Transport<M> for Mock
             mailboxes,
             ledger,
             trace,
+            churn,
             ..
         } = barrier;
+        // Wire-faithfulness for the churn section too: every event the
+        // engine applied this round must survive a codec round trip, just
+        // like a TCP rank's round frame would carry it.
+        for event in churn {
+            let mut encoded = Vec::with_capacity(crate::churn::ChurnEvent::WIRE_BYTES);
+            event.encode(&mut encoded);
+            let decoded = crate::churn::ChurnEvent::decode(&encoded).map_err(|e| {
+                RuntimeError::transport(format!(
+                    "mock: churn event failed its wire round trip: {e}"
+                ))
+            })?;
+            if decoded != *event {
+                return Err(RuntimeError::transport(
+                    "mock: churn event changed across its wire round trip".to_string(),
+                ));
+            }
+        }
         for mailbox in mailboxes.iter_mut() {
             mailbox.clear();
         }

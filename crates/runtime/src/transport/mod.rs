@@ -36,6 +36,7 @@ pub use in_process::InProcessTransport;
 pub use mock::{Disturbance, FrameRecord, MockTransport};
 pub use tcp::{TcpConfig, TcpTransport};
 
+use crate::churn::ChurnEvent;
 use crate::error::RuntimeResult;
 use crate::metrics::{ExecutionMetrics, MessageLedger};
 use crate::node::{Envelope, Outgoing};
@@ -88,6 +89,13 @@ pub struct RoundBarrier<'a, M> {
     pub ledger: &'a mut MessageLedger,
     /// The trace log (only written when `traced`).
     pub trace: &'a mut Trace,
+    /// Churn events the engine applied at the top of this round, in
+    /// canonical application order (empty when no
+    /// [`ChurnPlan`](crate::churn::ChurnPlan) is installed). Purely
+    /// observational for in-process backends; wire backends encode them
+    /// into the round frame so every rank can verify it applied the
+    /// identical topology update.
+    pub churn: &'a [ChurnEvent],
 }
 
 /// What a [`Transport::deliver`] call reports back to the engine.

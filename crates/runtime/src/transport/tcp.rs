@@ -12,8 +12,9 @@
 //! [u32 body_len]                          // bytes after this field
 //! [u32 round] [u32 sender_rank]           // lockstep check
 //! [u64 sent_total]                        // sender's post-fault outbox total
-//! [u32 halted] [u32 msg_count] [u32 stats_len]
+//! [u32 halted] [u32 msg_count] [u32 stats_len] [u32 churn_count]
 //! <stats section, stats_len bytes>        // identical in every peer frame
+//! <churn_count churn events, 20 bytes each>
 //! <msg_count message records>
 //! message record := [u64 edge] [u32 sender] [u32 receiver]
 //!                   [u32 payload_len] <payload bytes>
@@ -32,6 +33,15 @@
 //!          [u64 dropped_random] [u64 dropped_link_cut]
 //!          [u64 dropped_crash]  [u64 duplicated]
 //! ```
+//!
+//! The churn section carries the [`ChurnEvent`](crate::churn::ChurnEvent)s
+//! the sending rank applied at the top of this round, in canonical order
+//! and in their [`WireCodec`] encoding. Every rank resolves the same
+//! [`ChurnPlan`](crate::churn::ChurnPlan) locally, so the section is a
+//! *verification* channel, not an information channel: the receiver decodes
+//! each event and checks it against the event it applied itself — any
+//! difference means the ranks' topologies diverged, and the barrier fails
+//! as desynchronized rather than silently running on different graphs.
 //!
 //! Mailboxes are filled in ascending rank-slot order (a rank drains its own
 //! pending messages at its own slot); because ranks own ascending contiguous
@@ -78,14 +88,15 @@ use std::time::{Duration, Instant};
 
 /// Handshake magic: `"FLTP"` (freelunch transport).
 const MAGIC: u32 = 0x464C_5450;
-/// Frame protocol version; bumped on any wire-format change.
-const VERSION: u32 = 1;
+/// Frame protocol version; bumped on any wire-format change (v2 added the
+/// churn-event section).
+const VERSION: u32 = 2;
 /// Upper bound on a frame body, to reject absurd lengths from a corrupt or
 /// desynchronized stream before allocating.
 const MAX_BODY: u32 = 1 << 30;
 /// Fixed part of the frame body: round, sender_rank, sent_total, halted,
-/// msg_count, stats_len.
-const BODY_FIXED: usize = 4 + 4 + 8 + 4 + 4 + 4;
+/// msg_count, stats_len, churn_count.
+const BODY_FIXED: usize = 4 + 4 + 8 + 4 + 4 + 4 + 4;
 
 /// Configuration of a [`TcpTransport`] process group.
 #[derive(Debug, Clone)]
@@ -134,6 +145,9 @@ pub struct TcpTransport<M> {
     payload_buf: Vec<u8>,
     /// The shared stats section of this round's frames.
     stats_buf: Vec<u8>,
+    /// The encoded churn-event section of this round's frames (identical
+    /// in every peer frame, like the stats).
+    churn_buf: Vec<u8>,
     /// Messages addressed to locally owned receivers, held until this
     /// rank's slot in the delivery order comes up.
     local_pending: Vec<Outgoing<M>>,
@@ -336,6 +350,7 @@ impl<M> TcpTransport<M> {
             read_buf: Vec::new(),
             payload_buf: Vec::new(),
             stats_buf: Vec::new(),
+            churn_buf: Vec::new(),
             local_pending: Vec::new(),
             edge_stats: BTreeMap::new(),
             prev_faults: FaultTotals::default(),
@@ -487,7 +502,8 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> TcpTransport<M> {
         sent_total: u64,
         halted: u32,
     ) -> RuntimeResult<()> {
-        let body_len = BODY_FIXED + self.stats_buf.len() + self.frame_bufs[peer].len();
+        let body_len =
+            BODY_FIXED + self.stats_buf.len() + self.churn_buf.len() + self.frame_bufs[peer].len();
         if body_len as u64 > u64::from(MAX_BODY) {
             return Err(RuntimeError::transport(format!(
                 "frame to rank {peer} exceeds the {MAX_BODY}-byte body limit ({body_len} bytes)"
@@ -505,7 +521,11 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> TcpTransport<M> {
             .extend_from_slice(&self.frame_counts[peer].to_le_bytes());
         self.send_buf
             .extend_from_slice(&(self.stats_buf.len() as u32).to_le_bytes());
+        let churn_count = self.churn_buf.len() / crate::churn::ChurnEvent::WIRE_BYTES;
+        self.send_buf
+            .extend_from_slice(&(churn_count as u32).to_le_bytes());
         self.send_buf.extend_from_slice(&self.stats_buf);
+        self.send_buf.extend_from_slice(&self.churn_buf);
         self.send_buf.extend_from_slice(&self.frame_bufs[peer]);
         let stream = self.streams[peer]
             .as_mut()
@@ -550,6 +570,7 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
             mailboxes,
             metrics,
             ledger,
+            churn,
             ..
         } = barrier;
         let node_count = mailboxes.len();
@@ -564,9 +585,18 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
         self.edge_stats.clear();
 
         let node_counts = self.stage_local_sends(outboxes, ledger, chunk)?;
+        // `prev_faults` holds the totals as of the end of the *previous*
+        // barrier — i.e. after merging every peer's deltas — so the delta
+        // against it covers exactly this rank's own new drops/duplications
+        // this round. Snapshotting here instead (before the merge below)
+        // would fold the peers' last-round deltas into this rank's next
+        // delta and echo them back, double-counting faults forever.
         let fault_totals = ledger.fault_totals();
         self.build_stats(&node_counts, &fault_totals);
-        self.prev_faults = fault_totals;
+        self.churn_buf.clear();
+        for event in churn {
+            event.encode(&mut self.churn_buf);
+        }
         let halted_local = halted[owned.clone()].iter().filter(|&&h| h).count() as u32;
 
         // Write every peer's frame first (frames buffer in the kernel), then
@@ -614,6 +644,7 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
             remote_halted += reader.u32()? as usize;
             let msg_count = reader.u32()?;
             let stats_len = reader.u32()? as usize;
+            let churn_count = reader.u32()? as usize;
 
             // Stats: merge through the order-independent bulk recorders.
             let stats_end = reader.pos + stats_len;
@@ -650,6 +681,31 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
                      consumed {}",
                     reader.pos - (stats_end - stats_len)
                 )));
+            }
+
+            // Churn section: verify the peer applied the identical topology
+            // update this round (every rank resolves the same plan, so any
+            // difference means the ranks are running on divergent graphs).
+            if churn_count != churn.len() {
+                return Err(RuntimeError::transport(format!(
+                    "frame from rank {slot} reports {churn_count} churn event(s) this round, \
+                     this rank applied {}: churn plans have diverged",
+                    churn.len()
+                )));
+            }
+            for (index, expected) in churn.iter().enumerate() {
+                let bytes = reader.take(crate::churn::ChurnEvent::WIRE_BYTES)?;
+                let event = crate::churn::ChurnEvent::decode(bytes).map_err(|e| {
+                    RuntimeError::transport(format!(
+                        "frame from rank {slot}: churn event {index} failed to decode: {e}"
+                    ))
+                })?;
+                if event != *expected {
+                    return Err(RuntimeError::transport(format!(
+                        "frame from rank {slot}: churn event {index} is {event:?}, this rank \
+                         applied {expected:?}: churn plans have diverged"
+                    )));
+                }
             }
 
             // Message records, already in canonical (node, send) order.
@@ -692,6 +748,7 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
             }
         }
 
+        self.prev_faults = ledger.fault_totals();
         Ok(BarrierOutcome {
             delivered,
             remote_halted,

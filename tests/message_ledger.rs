@@ -11,10 +11,12 @@
 
 use freelunch::algorithms::BallGathering;
 use freelunch::baselines::{direct_flooding, gossip_broadcast, BaswanaSen, ClusterSpanner};
+use freelunch::core::ledger::{CostPhase, Ledger};
+use freelunch::core::maintain::IncrementalSpanner;
 use freelunch::core::reduction::tlocal::TOKEN_BYTES;
 use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
-use freelunch::graph::{MultiGraph, NodeId};
-use freelunch::runtime::{MessageLedger, Network, NetworkConfig};
+use freelunch::graph::{EdgeId, MultiGraph, NodeId};
+use freelunch::runtime::{CostReport, MessageLedger, Network, NetworkConfig};
 
 /// Path 0 − 1 − 2 − 3 (edges e0, e1, e2).
 fn path4() -> MultiGraph {
@@ -251,6 +253,107 @@ fn derbel_cluster_spanner_counts_exactly_on_the_hand_graphs() {
             assert_eq!(ledger.fault_totals().dropped, 0, "{case}");
         }
     }
+}
+
+#[test]
+fn maintenance_repairs_count_exactly_on_the_hand_graphs() {
+    // The per-operation repair meter of `docs/CHURN.md`, pinned by hand.
+    // All three graphs are built with node 0 as the only seeded center, so
+    // the cluster structure (and therefore every count) is fully
+    // deterministic.
+    let centers = [NodeId::new(0)];
+
+    // Path insert: a fresh edge (0, 3) bridges cluster 0 and the singleton
+    // cluster {3} — 2 endpoint notifications plus 1 adoption message when
+    // the edge joins the spanner. One round.
+    let mut path = IncrementalSpanner::with_centers(&path4(), &centers).unwrap();
+    let report = path
+        .insert_edge(EdgeId::new(3), NodeId::new(0), NodeId::new(3))
+        .unwrap();
+    assert_eq!(report.cost, CostReport::new(1, 3));
+    assert_eq!(report.added_to_spanner, vec![EdgeId::new(3)]);
+
+    // Star delete: e0 is leaf 1's tree edge. The poll costs 2·deg messages
+    // — but the leaf has no remaining neighbors, so it re-homes to a
+    // singleton cluster for free. Two rounds (poll + audit), zero messages.
+    let mut star = IncrementalSpanner::with_centers(&star4(), &centers).unwrap();
+    let report = star.delete_edge(EdgeId::new(0)).unwrap();
+    assert_eq!(report.cost, CostReport::new(2, 0));
+    assert!(report.removed_from_spanner);
+    assert_eq!(report.rehomed, Some(NodeId::new(1)));
+
+    // K4 delete of a non-spanner edge: e3 = (1, 2) is neither a tree edge
+    // nor anyone's only foreign-cluster cover (all of K4 is one cluster),
+    // so the repair is entirely free.
+    let mut k4s = IncrementalSpanner::with_centers(&k4(), &centers).unwrap();
+    let report = k4s.delete_edge(EdgeId::new(3)).unwrap();
+    assert_eq!(report.cost, CostReport::new(0, 0));
+    assert!(!report.removed_from_spanner);
+    assert!(report.added_to_spanner.is_empty());
+
+    // K4 delete of tree edge e0 = (0, 1): node 1 polls its 2 remaining
+    // neighbors (4 messages), finds no adjacent center, re-homes to a
+    // singleton, and the audit of {1} ∪ N(1) promotes e3 (covering 1 ↔
+    // cluster 0 — which also covers node 2 back) and e4 (covering 3 ↔
+    // cluster 1) at 2 messages each: 4 + 2 + 2 = 8, two rounds.
+    let mut k4s = IncrementalSpanner::with_centers(&k4(), &centers).unwrap();
+    let report = k4s.delete_edge(EdgeId::new(0)).unwrap();
+    assert_eq!(report.cost, CostReport::new(2, 8));
+    assert_eq!(
+        report.added_to_spanner,
+        vec![EdgeId::new(3), EdgeId::new(4)]
+    );
+    assert_eq!(report.rehomed, Some(NodeId::new(1)));
+}
+
+#[test]
+fn maintenance_charges_land_in_their_own_ledger_phase() {
+    // A three-event K4 stream with hand-computed totals: delete e3 is free;
+    // delete e0 then polls only neighbor 3 (2 messages) and the audit
+    // promotes e4 (2 more); re-inserting (0, 1) as e6 costs 2 + 1 adoption.
+    // Cumulative bill: 3 rounds, 7 messages.
+    let mut spanner = IncrementalSpanner::with_centers(&k4(), &[NodeId::new(0)]).unwrap();
+    spanner.delete_edge(EdgeId::new(3)).unwrap();
+    spanner.delete_edge(EdgeId::new(0)).unwrap();
+    spanner
+        .insert_edge(EdgeId::new(6), NodeId::new(0), NodeId::new(1))
+        .unwrap();
+    assert_eq!(spanner.maintenance_cost(), CostReport::new(3, 7));
+    assert_eq!(spanner.repairs(), 3);
+
+    // On the meter, maintenance is its own phase and counts into the
+    // scheme's side of the free-lunch ratio.
+    let mut ledger = Ledger::new();
+    ledger.charge(
+        CostPhase::SpannerConstruction,
+        "seeded build",
+        spanner.build_cost(),
+    );
+    ledger.charge(
+        CostPhase::Maintenance,
+        "3 churn repairs",
+        spanner.maintenance_cost(),
+    );
+    ledger.charge(
+        CostPhase::DirectExecution,
+        "hypothetical direct run",
+        CostReport::new(4, 100),
+    );
+    assert_eq!(
+        ledger.phase_cost(CostPhase::Maintenance),
+        CostReport::new(3, 7)
+    );
+    let scheme = ledger.scheme_cost();
+    assert_eq!(
+        scheme.messages,
+        spanner.build_cost().messages + 7,
+        "maintenance must count into the scheme cost"
+    );
+    let ratio = ledger.free_lunch_ratio().unwrap();
+    assert!(
+        (ratio - 100.0 / scheme.messages as f64).abs() < 1e-12,
+        "free-lunch ratio must price maintenance in: {ratio}"
+    );
 }
 
 /// Runs `BallGathering` for two rounds and returns the engine's ledger.

@@ -19,8 +19,9 @@ use freelunch::algorithms::leader::LocalLeaderElection;
 use freelunch::algorithms::matching::{MatchingMessage, MaximalMatching};
 use freelunch::algorithms::mis::{LubyMis, MisMessage};
 use freelunch::core::sampler::distributed::{Level0Message, Level0Program};
+use freelunch::graph::{EdgeId, NodeId};
 use freelunch::runtime::transport::{CodecError, WireCodec};
-use freelunch::runtime::NodeProgram;
+use freelunch::runtime::{ChurnEvent, NodeProgram};
 use std::fmt::Debug;
 
 /// The structured value grid the payload-carrying variants are swept over.
@@ -212,6 +213,132 @@ fn nonzero_padding_is_rejected() {
     corrupt_padding(MisMessage::Priority(4), 9);
     corrupt_padding(Level0Message::Join, 1);
     corrupt_padding(MatchingMessage::Accept, 1);
+}
+
+/// The value grid the churn-event frame section is swept over: every event
+/// kind × edge/node IDs spanning the full value range.
+fn churn_event_grid() -> Vec<ChurnEvent> {
+    let mut events = Vec::new();
+    for value in VALUE_GRID {
+        let edge = EdgeId::new(value);
+        let node = NodeId::new(value as u32);
+        events.push(ChurnEvent::EdgeInsert {
+            edge,
+            u: node,
+            v: NodeId::new((value as u32).wrapping_add(1)),
+        });
+        events.push(ChurnEvent::EdgeDelete { edge });
+        events.push(ChurnEvent::NodeJoin { node });
+        events.push(ChurnEvent::NodeLeave { node });
+    }
+    events
+}
+
+/// Laws 1–3 for the churn-event frame section (`docs/CHURN.md`): churn
+/// events are not a program's payload — they ride their own fixed-size slot
+/// of every wire frame — so they are swept directly rather than through
+/// [`check_message`]. The sizing law here is the frame layout itself:
+/// every event occupies exactly [`ChurnEvent::WIRE_BYTES`].
+#[test]
+fn churn_events_obey_the_codec_laws() {
+    for event in churn_event_grid() {
+        let encoded = event.encode_to_vec();
+
+        // Law 2: fixed frame-slot sizing.
+        assert_eq!(
+            encoded.len(),
+            ChurnEvent::WIRE_BYTES,
+            "frame slot drifted for {event:?}"
+        );
+
+        // Law 1: roundtrip.
+        assert_eq!(ChurnEvent::decode(&encoded), Ok(event));
+
+        // Law 3: every strict prefix is rejected (the codec is fixed-size,
+        // so truncation can never silently decode) …
+        for cut in 0..encoded.len() {
+            assert!(
+                ChurnEvent::decode(&encoded[..cut]).is_err(),
+                "{event:?} survived truncation to {cut} bytes"
+            );
+        }
+        // … and so is trailing garbage, zero or not.
+        for extra in [0x00, 0xA5] {
+            let mut oversized = encoded.clone();
+            oversized.push(extra);
+            assert!(
+                ChurnEvent::decode(&oversized).is_err(),
+                "{event:?} decoded with a trailing {extra:#04x} byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_event_bad_tags_are_rejected_not_misread() {
+    // Tags 1–4 are the only live ones; flipping the tag byte to anything
+    // else must answer InvalidTag, never a wrong event.
+    let valid = ChurnEvent::EdgeDelete {
+        edge: EdgeId::new(7),
+    }
+    .encode_to_vec();
+    for tag in [0u8].into_iter().chain(5..=255) {
+        let mut bad = valid.clone();
+        bad[0] = tag;
+        assert_eq!(
+            ChurnEvent::decode(&bad),
+            Err(CodecError::InvalidTag { tag })
+        );
+    }
+}
+
+#[test]
+fn churn_event_padding_corruption_is_rejected() {
+    // Bytes 1–3 are structural zero padding in every event; each node
+    // event additionally zeroes the edge slot and the second node slot, and
+    // an edge delete zeroes both node slots. Corrupting any such byte must
+    // be caught — a corrupted frame slot may never alias a valid event.
+    let events: Vec<(ChurnEvent, Vec<usize>)> = vec![
+        (
+            ChurnEvent::EdgeInsert {
+                edge: EdgeId::new(3),
+                u: NodeId::new(1),
+                v: NodeId::new(2),
+            },
+            (1..4).collect(),
+        ),
+        (
+            ChurnEvent::EdgeDelete {
+                edge: EdgeId::new(3),
+            },
+            (1..4).chain(12..20).collect(),
+        ),
+        (
+            ChurnEvent::NodeJoin {
+                node: NodeId::new(9),
+            },
+            (1..4).chain(4..12).chain(16..20).collect(),
+        ),
+        (
+            ChurnEvent::NodeLeave {
+                node: NodeId::new(9),
+            },
+            (1..4).chain(4..12).chain(16..20).collect(),
+        ),
+    ];
+    for (event, zero_positions) in events {
+        let encoded = event.encode_to_vec();
+        for position in zero_positions {
+            assert_eq!(encoded[position], 0, "{event:?}: byte {position} not pad");
+            let mut bad = encoded.clone();
+            bad[position] = 0x7F;
+            assert_eq!(
+                ChurnEvent::decode(&bad),
+                Err(CodecError::InvalidPadding),
+                "padding corruption at byte {position} of {event:?} went unnoticed"
+            );
+        }
+    }
 }
 
 /// The runtime's built-in codecs (unit and integers) are swept here too so
