@@ -23,6 +23,7 @@
 //! `docs/METRICS.md` for the contract.
 
 use crate::error::{BaselineError, BaselineResult};
+use freelunch_core::planner::{GraphStats, SpannerProfile};
 use freelunch_core::spanner_api::{SpannerAlgorithm, SpannerResult};
 use freelunch_core::CoreResult;
 use freelunch_graph::{EdgeId, MultiGraph, NodeId};
@@ -247,6 +248,19 @@ impl SpannerAlgorithm for BaswanaSen {
             multiplicative_stretch: outcome.stretch,
             additive_stretch: 0,
             cost: outcome.cost,
+        })
+    }
+
+    /// Cost-model hook for the adaptive planner: the textbook expected size
+    /// `|S| ≈ min(m, k · n^{1+1/k})` and construction messages ≈ one
+    /// cluster-identifier exchange per incidence per phase, `2·m·k`.
+    fn predicted_profile(&self, stats: &GraphStats) -> Option<SpannerProfile> {
+        let n = stats.nodes as f64;
+        let m = stats.edges as f64;
+        let k = f64::from(self.k);
+        Some(SpannerProfile {
+            edges: m.min(k * n.powf(1.0 + 1.0 / k)),
+            construction_messages: 2.0 * m * k,
         })
     }
 }

@@ -25,6 +25,7 @@
 //! `docs/METRICS.md` for the contract.
 
 use crate::error::{BaselineError, BaselineResult};
+use freelunch_core::planner::{GraphStats, SpannerProfile};
 use freelunch_core::spanner_api::{SpannerAlgorithm, SpannerResult};
 use freelunch_core::CoreResult;
 use freelunch_graph::traversal::bfs;
@@ -213,6 +214,22 @@ impl SpannerAlgorithm for ClusterSpanner {
             multiplicative_stretch: outcome.stretch,
             additive_stretch: 0,
             cost: outcome.cost,
+        })
+    }
+
+    /// Cost-model hook for the adaptive planner: a radius-`ρ` clustering
+    /// spanner keeps the cluster trees plus surviving crossing edges,
+    /// `|S| ≈ min(m, 1.27 · n^{1+1/(ρ+1)})` — the scale calibrated at
+    /// ρ = 1 against the recorded `BENCH_message_ledger.json` two-stage rows
+    /// (see `docs/PLANNER.md`); construction messages ≈ one token per
+    /// incidence per BFS wave, `2·m·(ρ+1)`.
+    fn predicted_profile(&self, stats: &GraphStats) -> Option<SpannerProfile> {
+        let n = stats.nodes as f64;
+        let m = stats.edges as f64;
+        let rho = f64::from(self.radius);
+        Some(SpannerProfile {
+            edges: m.min(1.27 * n.powf(1.0 + 1.0 / (rho + 1.0))),
+            construction_messages: 2.0 * m * (rho + 1.0),
         })
     }
 }

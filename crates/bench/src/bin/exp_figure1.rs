@@ -3,14 +3,16 @@
 //! Runs `Sampler` with tracing on a small planted-partition graph and prints
 //! the per-level panels of Figure 1: the level graph, the query edges, the
 //! `F` edges, the centers, the clusters and the contracted next-level graph.
+//!
+//! Usage: `exp_figure1 [--smoke]` — `--smoke` halves the graph for CI.
 
 use freelunch_bench::{cell_str, cell_u64, experiment_constants, ExperimentTable, Workload};
 use freelunch_core::sampler::{Sampler, SamplerParams};
 
 fn main() {
-    let graph = Workload::Communities
-        .build(128, 5)
-        .expect("workload builds");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 64 } else { 128 };
+    let graph = Workload::Communities.build(n, 5).expect("workload builds");
     let params = SamplerParams::with_constants(2, 3, experiment_constants()).expect("valid");
     let (outcome, trace) = Sampler::new(params)
         .run_with_trace(&graph, 3)

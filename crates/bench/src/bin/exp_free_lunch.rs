@@ -5,6 +5,9 @@
 //! direct cost against the message-reduced execution (Sampler spanner +
 //! `t`-local broadcast), verifying on a sample of nodes that the information
 //! delivered by the broadcast determines the same outputs.
+//!
+//! Usage: `exp_free_lunch [--smoke]` — `--smoke` shrinks the graph and the
+//! `t` sweep for CI.
 
 use freelunch_algorithms::{BallGathering, LocalLeaderElection};
 use freelunch_bench::{
@@ -15,7 +18,10 @@ use freelunch_core::sampler::{Sampler, SamplerParams};
 use freelunch_runtime::NetworkConfig;
 
 fn main() {
-    let n = 384;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 96 } else { 384 };
+    let ts: &[u32] = if smoke { &[2] } else { &[2, 3] };
+    let verify_nodes = if smoke { 6 } else { 12 };
     let graph = Workload::Complete.build(n, 41).expect("workload builds");
     let params = SamplerParams::with_constants(2, 7, experiment_constants()).expect("valid");
     let sampler = Sampler::new(params);
@@ -41,7 +47,7 @@ fn main() {
         ],
     );
 
-    for t in [2u32, 3] {
+    for &t in ts {
         let report = simulate_with_spanner(
             &graph,
             &spanner_edges,
@@ -51,7 +57,7 @@ fn main() {
             NetworkConfig::with_seed(7),
             |node, _| BallGathering::new(node, t),
             |p| p.known_ids(),
-            12,
+            verify_nodes,
         )
         .expect("simulation runs");
         table.push_row(vec![
@@ -74,7 +80,7 @@ fn main() {
             NetworkConfig::with_seed(9),
             |node, _| LocalLeaderElection::new(node, t),
             |p| p.leader(),
-            12,
+            verify_nodes,
         )
         .expect("simulation runs");
         table.push_row(vec![

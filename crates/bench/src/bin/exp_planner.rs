@@ -1,0 +1,377 @@
+//! Planner experiment: prediction accuracy, decision quality, and
+//! congestion-aware routing, recorded to `BENCH_planner.json`.
+//!
+//! For each workload family (the three PR-2 sparse scaling families plus
+//! the dense Erdős–Rényi and complete families), the experiment
+//!
+//! * plans with [`SchemePlanner`] (stats sampled from the frozen CSR,
+//!   closed-form per-path predictions, decision = predicted-cheapest),
+//!   re-plans and asserts the two plans are bit-identical;
+//! * executes **all three** paths with `Plan::execute_all` and audits
+//!   predicted vs. measured messages against the documented
+//!   [`Tolerances`] bands (asserted);
+//! * asserts the decision is the measured-cheapest path on every cell
+//!   (regret = 1.0) and records the decision margin;
+//! * runs the direct reference on the engine at every shard count and
+//!   attaches the ledger to the `PlanReport`, asserting cross-shard
+//!   bit-identity of the attached report;
+//! * on *thickened* (parallel-edge) community and scale-free graphs,
+//!   compares canonical vs. congestion-aware routing: identical totals,
+//!   pointwise per-round max-congestion domination
+//!   (`CongestionSnapshot::never_exceeds`), and the peak / tail numbers.
+//!
+//! Usage:
+//!
+//! ```sh
+//! exp_planner [OUTPUT.json] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the sweep for CI.
+
+use freelunch_algorithms::BallGathering;
+use freelunch_baselines::ClusterSpanner;
+use freelunch_bench::{
+    cell_f64, cell_str, cell_u64, tables_to_json, ExperimentTable, ScalingWorkload, Workload,
+};
+use freelunch_core::planner::{SchemePlanner, Tolerances};
+use freelunch_core::reduction::tlocal::{flood_on_subgraph_routed, FloodRouting};
+use freelunch_graph::MultiGraph;
+use freelunch_runtime::{MessageLedger, Network, NetworkConfig};
+
+/// Locality parameter of the planned broadcast.
+const T: u32 = 2;
+/// Workload / algorithm seed shared by every row.
+const SEED: u64 = 42;
+
+/// One workload family of the sweep: label, swept sizes, graph builder.
+type FamilySpec = (
+    &'static str,
+    &'static [usize],
+    Box<dyn Fn(usize) -> MultiGraph>,
+);
+
+/// Runs `BallGathering` directly on the engine and returns its ledger.
+fn direct_network_ledger(graph: &MultiGraph, shards: usize) -> MessageLedger {
+    let config = NetworkConfig::with_seed(SEED).sharded(shards);
+    let mut network =
+        Network::new(graph, config, |node, _| BallGathering::new(node, T)).expect("network builds");
+    network.run_rounds(T).expect("direct run completes");
+    network.ledger().clone()
+}
+
+/// Duplicates every `stride`-th edge of `graph`, turning the simple workload
+/// graph into a multigraph with parallel classes — the structure the
+/// congestion-aware router spreads load across.
+fn thicken(graph: &MultiGraph, stride: usize) -> MultiGraph {
+    let mut thick = MultiGraph::new(graph.node_count());
+    let edges: Vec<_> = graph.edges().map(|e| (e.u, e.v)).collect();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        thick.add_edge(u, v).expect("edge re-added");
+        if i % stride == 0 {
+            thick.add_edge(u, v).expect("parallel edge added");
+        }
+    }
+    thick
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lax = std::env::var("PLANNER_LAX").is_ok();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let sparse_sizes: &[usize] = if smoke { &[256] } else { &[512, 1024, 2048] };
+    let dense_sizes: &[usize] = if smoke { &[192] } else { &[384, 768] };
+    let complete_sizes: &[usize] = if smoke { &[96] } else { &[96, 256, 384] };
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    let congestion_sizes: &[usize] = if smoke { &[256] } else { &[512, 1024] };
+
+    let mut families: Vec<FamilySpec> = Vec::new();
+    for workload in ScalingWorkload::all() {
+        families.push((
+            workload.label(),
+            sparse_sizes,
+            Box::new(move |n| workload.build(n, SEED).expect("workload builds")),
+        ));
+    }
+    families.push((
+        "dense-er",
+        dense_sizes,
+        Box::new(|n| {
+            Workload::DenseRandom
+                .build(n, SEED)
+                .expect("workload builds")
+        }),
+    ));
+    families.push((
+        "complete",
+        complete_sizes,
+        Box::new(|n| Workload::Complete.build(n, SEED).expect("workload builds")),
+    ));
+
+    let mut prediction_table = ExperimentTable::new(
+        format!(
+            "E-planner predictions — closed-form per-path cost models vs. the \
+             measured ledger (t = {T}, ratio = predicted ÷ measured, band = \
+             the documented tolerance contract)"
+        ),
+        &[
+            "workload",
+            "n",
+            "m",
+            "path",
+            "chosen",
+            "predicted msgs",
+            "measured msgs",
+            "ratio",
+            "band low",
+            "band high",
+            "within band",
+        ],
+    );
+    let mut decision_table = ExperimentTable::new(
+        "E-planner decisions — chosen path vs. measured-cheapest, decision \
+         margin, replan/cross-shard bit-identity",
+        &[
+            "workload",
+            "n",
+            "m",
+            "decision",
+            "margin",
+            "best measured",
+            "regret",
+            "replan identical",
+            "shards identical",
+        ],
+    );
+    let mut congestion_table = ExperimentTable::new(
+        "E-planner congestion — canonical vs. congestion-aware routing on \
+         thickened (parallel-edge) graphs: per-round max edge congestion. \
+         stride 1 = every edge doubled (full parallel redundancy), stride 3 \
+         = every third edge doubled (simple edges bound the global peak)",
+        &[
+            "workload",
+            "n",
+            "stride",
+            "m",
+            "routing",
+            "total msgs",
+            "peak congestion",
+            "rounds at peak",
+            "dominated by canonical",
+        ],
+    );
+
+    let planner = SchemePlanner::new(T).expect("valid planner");
+    let second_stage = ClusterSpanner::new(1).expect("valid radius");
+    let tolerances = Tolerances::default();
+
+    for (family, sizes, build) in &families {
+        for &n in *sizes {
+            let graph = build(n);
+            let m = graph.edge_count() as u64;
+
+            // Plan twice: planning is a pure function of (graph, config).
+            let plan = planner
+                .plan_with_second_stage(&graph, &second_stage)
+                .expect("plan succeeds");
+            let replan = planner
+                .plan_with_second_stage(&graph, &second_stage)
+                .expect("replan succeeds");
+            let replan_identical = plan == replan && format!("{plan:?}") == format!("{replan:?}");
+            assert!(replan_identical, "{family}/{n}: replan diverged");
+
+            // Execute every path and self-audit.
+            let mut report = plan
+                .execute_all(&graph, SEED, &second_stage)
+                .expect("execution succeeds");
+            let audit = report.audit_with(&tolerances);
+            for entry in &audit.entries {
+                prediction_table.push_row(vec![
+                    cell_str(*family),
+                    cell_u64(n as u64),
+                    cell_u64(m),
+                    cell_str(entry.path.label()),
+                    cell_str(if entry.path == plan.decision {
+                        "yes"
+                    } else {
+                        ""
+                    }),
+                    cell_f64(entry.predicted_messages),
+                    cell_u64(entry.measured_messages),
+                    cell_f64(entry.ratio),
+                    cell_f64(entry.band.lower),
+                    cell_f64(entry.band.upper),
+                    cell_str(if entry.within_band { "yes" } else { "NO" }),
+                ]);
+                assert!(
+                    lax || entry.within_band,
+                    "{family}/{n}/{}: prediction ratio {:.3} outside [{}, {}]",
+                    entry.path.label(),
+                    entry.ratio,
+                    entry.band.lower,
+                    entry.band.upper,
+                );
+                if lax {
+                    let phases: Vec<String> = report
+                        .measured(entry.path)
+                        .map(|m| {
+                            m.phases
+                                .entries()
+                                .iter()
+                                .map(|e| format!("{}={}", e.label, e.cost.messages))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    eprintln!(
+                        "  {family}/{n}/{}: predicted={:.0} measured={} ratio={:.3} [{}]",
+                        entry.path.label(),
+                        entry.predicted_messages,
+                        entry.measured_messages,
+                        entry.ratio,
+                        phases.join(", "),
+                    );
+                }
+            }
+
+            // Decision quality: the planner must pick the measured-cheapest
+            // path on every swept cell.
+            let regret = report.regret().expect("all paths measured");
+            let best = report.best_measured().expect("measurements exist").path;
+            assert!(
+                lax || (regret - 1.0).abs() < f64::EPSILON,
+                "{family}/{n}: planner chose {} but {} measured cheaper (regret {regret:.3})",
+                plan.decision.label(),
+                best.label(),
+            );
+
+            // Attach the engine-measured direct ledger and check the full
+            // attached report is bit-identical across shard counts.
+            let reference = direct_network_ledger(&graph, shard_counts[0]);
+            report.attach_engine_direct(reference.clone());
+            let mut shards_identical = true;
+            for &shards in &shard_counts[1..] {
+                let mut other = plan
+                    .execute_all(&graph, SEED, &second_stage)
+                    .expect("execution succeeds");
+                other.attach_engine_direct(direct_network_ledger(&graph, shards));
+                if other != report || format!("{other:?}") != format!("{report:?}") {
+                    shards_identical = false;
+                }
+            }
+            assert!(
+                shards_identical,
+                "{family}/{n}: attached report diverged across shard counts"
+            );
+
+            decision_table.push_row(vec![
+                cell_str(*family),
+                cell_u64(n as u64),
+                cell_u64(m),
+                cell_str(plan.decision.label()),
+                cell_f64(plan.decision_margin),
+                cell_str(best.label()),
+                cell_f64(regret),
+                cell_str(if replan_identical { "yes" } else { "NO" }),
+                cell_str(if shards_identical { "yes" } else { "NO" }),
+            ]);
+
+            eprintln!(
+                "{family:12} n={n:>5} m={m:>7} decision={:<11} margin={:.3} regret={regret:.3}",
+                plan.decision.label(),
+                plan.decision_margin,
+            );
+        }
+    }
+
+    // Congestion-aware routing on thickened community / scale-free graphs:
+    // identical totals, pointwise-dominated per-round max congestion.
+    for workload in [ScalingWorkload::Community, ScalingWorkload::ScaleFree] {
+        for &n in congestion_sizes {
+            for stride in [1usize, 3] {
+                let thick = thicken(&workload.build(n, SEED).expect("workload builds"), stride);
+                let m = thick.edge_count() as u64;
+                let edge_ids: Vec<_> = thick.edge_ids().collect();
+                let canonical = flood_on_subgraph_routed(
+                    &thick,
+                    edge_ids.iter().copied(),
+                    T,
+                    FloodRouting::Canonical,
+                )
+                .expect("canonical flood runs");
+                let aware = flood_on_subgraph_routed(
+                    &thick,
+                    edge_ids.iter().copied(),
+                    T,
+                    FloodRouting::CongestionAware,
+                )
+                .expect("aware flood runs");
+                assert_eq!(
+                    canonical.cost,
+                    aware.cost,
+                    "{}/{n}: routing changed the total cost",
+                    workload.label()
+                );
+                assert_eq!(
+                    canonical.ledger.total_bytes(),
+                    aware.ledger.total_bytes(),
+                    "{}/{n}: routing changed the byte count",
+                    workload.label()
+                );
+                let canonical_snap = canonical.ledger.congestion_snapshot();
+                let aware_snap = aware.ledger.congestion_snapshot();
+                let dominated = aware_snap.never_exceeds(&canonical_snap);
+                assert!(
+                dominated,
+                "{}/{n}/stride {stride}: congestion-aware routing exceeded canonical congestion",
+                workload.label()
+            );
+                if stride == 1 {
+                    // Full parallel redundancy: spreading the two directions of
+                    // every class over its two edges strictly flattens the peak.
+                    assert!(
+                        aware_snap.peak < canonical_snap.peak,
+                        "{}/{n}: full redundancy did not flatten the peak",
+                        workload.label()
+                    );
+                }
+                for (label, snap, dom) in [
+                    ("canonical", &canonical_snap, "-"),
+                    (
+                        "congestion-aware",
+                        &aware_snap,
+                        if dominated { "yes" } else { "NO" },
+                    ),
+                ] {
+                    congestion_table.push_row(vec![
+                        cell_str(workload.label()),
+                        cell_u64(n as u64),
+                        cell_u64(stride as u64),
+                        cell_u64(m),
+                        cell_str(label),
+                        cell_u64(snap.total_messages),
+                        cell_u64(snap.peak),
+                        cell_u64(snap.rounds_above(snap.peak.saturating_sub(1)) as u64),
+                        cell_str(dom),
+                    ]);
+                }
+                eprintln!(
+                    "{:12} n={n:>5} stride={stride} m={m:>7} peak canonical={} aware={}",
+                    workload.label(),
+                    canonical_snap.peak,
+                    aware_snap.peak,
+                );
+            }
+        }
+    }
+
+    println!("{}", prediction_table.to_markdown());
+    println!("{}", decision_table.to_markdown());
+    println!("{}", congestion_table.to_markdown());
+
+    if let Some(path) = output {
+        let json = tables_to_json(&[&prediction_table, &decision_table, &congestion_table]);
+        std::fs::write(&path, json).expect("result file is writable");
+        eprintln!("wrote {path}");
+    }
+}

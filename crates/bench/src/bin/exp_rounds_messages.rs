@@ -6,6 +6,9 @@
 //! the Derbel-style cluster spanner, greedy-by-collection) on increasingly
 //! dense graphs — the headline "free lunch": construction messages stop
 //! tracking `m`.
+//!
+//! Usage: `exp_rounds_messages [--smoke]` — `--smoke` shrinks the graphs
+//! and the `(k, h)` sweep for CI.
 
 use freelunch_baselines::{BaswanaSen, ClusterSpanner};
 use freelunch_bench::{
@@ -15,16 +18,19 @@ use freelunch_core::sampler::{Sampler, SamplerParams};
 use freelunch_core::spanner_api::SpannerAlgorithm;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 192 } else { 512 };
+    let ks: std::ops::RangeInclusive<u32> = if smoke { 1..=2 } else { 1..=3 };
+    let hs: &[u32] = if smoke { &[3] } else { &[3, 7] };
+
     // E3: rounds vs (k, h).
     let mut rounds_table = ExperimentTable::new(
-        "E3 — Theorem 2 rounds: measured rounds vs bound O(3^k h) (dense ER, n = 512)",
+        format!("E3 — Theorem 2 rounds: measured rounds vs bound O(3^k h) (dense ER, n = {n})"),
         &["k", "h", "measured rounds", "paper bound 3^k*h", "ratio"],
     );
-    let graph = Workload::DenseRandom
-        .build(512, 7)
-        .expect("workload builds");
-    for k in 1..=3u32 {
-        for h in [3u32, 7] {
+    let graph = Workload::DenseRandom.build(n, 7).expect("workload builds");
+    for k in ks {
+        for &h in hs {
             let params = SamplerParams::with_constants(k, h, experiment_constants())
                 .expect("valid parameters");
             let outcome = Sampler::new(params).run(&graph, 11).expect("sampler runs");
@@ -43,7 +49,7 @@ fn main() {
     // E4: messages vs m for Sampler and Ω(m) baselines on denser and denser
     // graphs.
     let mut message_table = ExperimentTable::new(
-        "E4 — Theorem 2 messages: construction messages vs |E| (n = 512)",
+        format!("E4 — Theorem 2 messages: construction messages vs |E| (n = {n})"),
         &[
             "workload",
             "m",
@@ -59,7 +65,7 @@ fn main() {
         Workload::DenseRandom,
         Workload::Complete,
     ] {
-        let graph = workload.build(512, 3).expect("workload builds");
+        let graph = workload.build(n, 3).expect("workload builds");
         let sampler = Sampler::new(
             SamplerParams::with_constants(2, 7, experiment_constants()).expect("valid parameters"),
         );

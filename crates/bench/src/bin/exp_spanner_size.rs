@@ -4,6 +4,9 @@
 //! produced by `Sampler`, the fitted size exponent (to compare against the
 //! paper's `1 + 1/(2^{k+1}−1)`), and the worst-case per-edge stretch (to
 //! compare against the bound `2·3^k − 1`).
+//!
+//! Usage: `exp_spanner_size [OUTPUT.json] [--smoke]` — `--smoke` shrinks
+//! the `(n, k, seed)` sweep for CI.
 
 use freelunch_bench::{
     cell_f64, cell_str, cell_u64, experiment_params, fit_power_law_exponent, tables_to_json,
@@ -13,9 +16,17 @@ use freelunch_core::sampler::Sampler;
 use freelunch_graph::spanner_check::verify_edge_stretch;
 
 fn main() {
-    let sizes = [256usize, 512, 1024];
-    let ks = [1u32, 2, 3];
-    let seeds = [1u64, 2, 3];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args.iter().find(|a| *a != "--smoke");
+    // The fit needs at least two sizes even in smoke mode.
+    let sizes: &[usize] = if smoke {
+        &[128, 256]
+    } else {
+        &[256, 512, 1024]
+    };
+    let ks: &[u32] = if smoke { &[2] } else { &[1, 2, 3] };
+    let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
     let workload = Workload::DenseRandom;
 
     let mut size_table = ExperimentTable::new(
@@ -45,10 +56,10 @@ fn main() {
         &["k", "fitted exponent", "paper exponent"],
     );
 
-    for &k in &ks {
+    for &k in ks {
         let params = experiment_params(k);
         let mut points: Vec<(f64, f64)> = Vec::new();
-        for &n in &sizes {
+        for &n in sizes {
             let runs: Vec<(usize, usize, u32, f64, bool)> = seeds
                 .iter()
                 .map(|&seed| {
@@ -106,9 +117,9 @@ fn main() {
 
     // With an output path argument, also record the tables as a JSON
     // result file (the committed BENCH_*.json data points).
-    if let Some(path) = std::env::args().nth(1) {
+    if let Some(path) = output {
         let json = tables_to_json(&[&size_table, &stretch_table, &fit_table]);
-        std::fs::write(&path, json).expect("result file is writable");
+        std::fs::write(path, json).expect("result file is writable");
         eprintln!("wrote {path}");
     }
 }

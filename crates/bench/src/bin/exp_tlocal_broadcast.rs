@@ -5,6 +5,9 @@
 //! (a) direct flooding on `G` (`Θ(t·m)` messages, `t` rounds) and
 //! (b) gossip-based message reduction (`Θ(n)` messages per round,
 //! `O(t log n + log² n)` rounds).
+//!
+//! Usage: `exp_tlocal_broadcast [--smoke]` — `--smoke` shrinks the graph
+//! and the `(t, γ)` sweep for CI.
 
 use freelunch_baselines::{direct_flooding, gossip_broadcast};
 use freelunch_bench::{
@@ -13,7 +16,10 @@ use freelunch_bench::{
 use freelunch_core::reduction::scheme::SamplerScheme;
 
 fn main() {
-    let n = 512;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 192 } else { 512 };
+    let ts: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let gammas: &[u32] = if smoke { &[1] } else { &[1, 2] };
     let graph = Workload::DenseRandom.build(n, 9).expect("workload builds");
     let m = graph.edge_count() as u64;
 
@@ -22,7 +28,7 @@ fn main() {
         &["t", "method", "rounds", "messages", "messages / (t*m)"],
     );
 
-    for t in [1u32, 2, 4] {
+    for &t in ts {
         // Baseline 1: direct flooding on G.
         let flooding = direct_flooding(&graph, t).expect("flooding runs");
         table.push_row(vec![
@@ -42,7 +48,7 @@ fn main() {
             cell_f64(gossip.cost.messages as f64 / (u64::from(t) * m) as f64),
         ]);
         // The paper's scheme for γ = 1, 2.
-        for gamma in [1u32, 2] {
+        for &gamma in gammas {
             let scheme =
                 SamplerScheme::with_constants(gamma, experiment_constants()).expect("valid gamma");
             let report = scheme.run(&graph, t, 17).expect("scheme runs");

@@ -5,6 +5,9 @@
 //! would cost `Θ(ρ·m)` messages if run directly; the two-stage scheme
 //! instead simulates it over the stage-1 Sampler spanner and then floods the
 //! second spanner, keeping the total rounds `O(t)`.
+//!
+//! Usage: `exp_two_stage [--smoke]` — `--smoke` shrinks the graph and the
+//! `t` sweeps for CI.
 
 use freelunch_baselines::ClusterSpanner;
 use freelunch_bench::{cell_f64, cell_u64, experiment_constants, ExperimentTable, Workload};
@@ -12,7 +15,10 @@ use freelunch_core::reduction::two_stage::TwoStageScheme;
 use freelunch_core::spanner_api::SpannerAlgorithm;
 
 fn main() {
-    let n = 512;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 192 } else { 512 };
+    let ts: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let shape_ts: &[u32] = if smoke { &[2, 4] } else { &[2, 4, 8, 16] };
     let graph = Workload::DenseRandom.build(n, 21).expect("workload builds");
     let m = graph.edge_count() as u64;
 
@@ -34,7 +40,7 @@ fn main() {
         .construct(&graph, 3)
         .expect("runs");
 
-    for t in [1u32, 2, 4, 8] {
+    for &t in ts {
         let scheme = TwoStageScheme::new(
             1,
             experiment_constants(),
@@ -58,7 +64,7 @@ fn main() {
         "E6b — round complexity stays O(t): total rounds / t",
         &["t", "total rounds", "rounds / t"],
     );
-    for t in [2u32, 4, 8, 16] {
+    for &t in shape_ts {
         let scheme = TwoStageScheme::new(
             1,
             experiment_constants(),

@@ -13,6 +13,11 @@
 //! * [`reduction`] — `t`-local broadcast over a spanner, the single-stage
 //!   and two-stage message-reduction schemes, and the machinery for
 //!   simulating arbitrary LOCAL algorithms with `o(m)` messages;
+//! * [`planner`] — adaptive execution-path planning: a deterministic
+//!   [`GraphStats`] sampler feeding closed-form cost models calibrated
+//!   against the recorded bench data, choosing direct flooding vs. spanner
+//!   simulation vs. two-stage per run with a self-auditing [`PlanReport`]
+//!   (see `docs/PLANNER.md`);
 //! * [`maintain`] — incremental repair of a stretch-3 cluster spanner under
 //!   edge churn, metered per repair so dynamic-graph experiments can charge
 //!   maintenance to its own ledger phase (see `docs/CHURN.md`);
@@ -52,6 +57,7 @@ pub mod error;
 pub mod ledger;
 pub mod maintain;
 pub mod params;
+pub mod planner;
 pub mod reduction;
 pub mod sampler;
 pub mod spanner_api;
@@ -60,5 +66,9 @@ pub use error::{CoreError, CoreResult};
 pub use ledger::{CostPhase, Ledger, LedgerEntry};
 pub use maintain::{IncrementalSpanner, RepairReport};
 pub use params::{ConstantPolicy, FallbackPolicy, SamplerParams};
+pub use planner::{
+    AuditReport, CostModel, GraphStats, PathChoice, Plan, PlanReport, SchemePlanner,
+    SpannerProfile, StatsConfig, Tolerances,
+};
 pub use sampler::{Sampler, SamplerOutcome};
 pub use spanner_api::{SpannerAlgorithm, SpannerResult};

@@ -39,7 +39,7 @@ pub mod two_stage;
 pub use scheme::{SamplerScheme, SchemeReport};
 pub use simulate::{simulate_with_spanner, simulate_with_spanner_under_faults, SimulationReport};
 pub use tlocal::{
-    flood_on_subgraph, flood_on_subgraph_with_faults, t_local_broadcast,
-    t_local_broadcast_with_faults, BroadcastOutcome,
+    flood_on_subgraph, flood_on_subgraph_routed, flood_on_subgraph_with_faults, t_local_broadcast,
+    t_local_broadcast_routed, t_local_broadcast_with_faults, BroadcastOutcome, FloodRouting,
 };
 pub use two_stage::{TwoStageReport, TwoStageScheme};

@@ -246,6 +246,162 @@ pub fn flood_on_subgraph_with_faults(
     })
 }
 
+/// How the flood assigns a token bundle to an edge when several parallel
+/// edges join the sender to the same neighbor.
+///
+/// On simple graphs all three policies produce bit-identical outcomes (every
+/// parallel class has size 1, so there is nothing to choose); they differ
+/// only on multigraphs — e.g. spanners retaining parallel capacity links, or
+/// workloads provisioned with bonded edges on high-traffic links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FloodRouting {
+    /// One bundle per *incident edge*: parallel edges each carry a copy.
+    /// This is the historical [`flood_on_subgraph`] behavior (and the
+    /// paper's `2·|S|`-messages-per-round accounting, with `|S|` counting
+    /// multiplicity).
+    PerEdge,
+    /// One bundle per *distinct neighbor*, always carried by the
+    /// lowest-`EdgeId` edge of the parallel class. The deterministic
+    /// first-edge baseline that congestion-aware routing is measured
+    /// against.
+    Canonical,
+    /// One bundle per *distinct neighbor*, spread across the parallel class
+    /// round-robin (with a direction-dependent offset, so for classes of
+    /// size ≥ 2 the two directions never share an edge in a round). Sends
+    /// exactly the same bundles as [`FloodRouting::Canonical`] — same total
+    /// message count, same knowledge evolution — but its per-round maximum
+    /// edge congestion is pointwise ≤ canonical's. See `docs/PLANNER.md`
+    /// for the guarantee and the measured tail effect.
+    CongestionAware,
+}
+
+/// [`flood_on_subgraph`] under an explicit [`FloodRouting`] policy.
+///
+/// [`FloodRouting::PerEdge`] reproduces [`flood_on_subgraph`] exactly. The
+/// two neighbor-routed policies ([`FloodRouting::Canonical`] and
+/// [`FloodRouting::CongestionAware`]) send one bundle per (sender, distinct
+/// neighbor) pair per active round; they share message totals, byte totals,
+/// round activity, and token knowledge with each other — only the per-edge
+/// distribution (and hence the congestion column) differs. The routed
+/// flood's cost is charged to the same phase accounting as the canonical
+/// flood (callers wrap the returned [`BroadcastOutcome::cost`] in
+/// [`crate::ledger::Ledger::for_tlocal`] exactly as before).
+///
+/// # Errors
+///
+/// Returns an error if any edge ID is unknown or the graph is empty.
+pub fn flood_on_subgraph_routed(
+    graph: &MultiGraph,
+    subgraph_edges: impl IntoIterator<Item = EdgeId>,
+    radius: u32,
+    routing: FloodRouting,
+) -> CoreResult<BroadcastOutcome> {
+    if routing == FloodRouting::PerEdge {
+        return flood_on_subgraph(graph, subgraph_edges, radius);
+    }
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(CoreError::invalid_parameter("the graph has no nodes"));
+    }
+    let subgraph = graph.edge_subgraph(subgraph_edges)?;
+
+    // Group each node's incident subgraph edges by neighbor, the parallel
+    // classes sorted by edge ID. Built once; deterministic by construction.
+    let mut classes: Vec<Vec<(NodeId, Vec<EdgeId>)>> = Vec::with_capacity(n);
+    for v in subgraph.nodes() {
+        let mut incident: Vec<(NodeId, EdgeId)> = subgraph
+            .incident_edges(v)
+            .iter()
+            .map(|ie| (ie.neighbor, ie.edge))
+            .collect();
+        incident.sort_unstable_by_key(|&(u, e)| (u.index(), e.index()));
+        let mut grouped: Vec<(NodeId, Vec<EdgeId>)> = Vec::new();
+        for (u, e) in incident {
+            match grouped.last_mut() {
+                Some((last, edges)) if *last == u => edges.push(e),
+                _ => grouped.push((u, vec![e])),
+            }
+        }
+        classes.push(grouped);
+    }
+
+    let mut known = BitMatrix::new(n);
+    let mut fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (v, fresh_v) in fresh.iter_mut().enumerate() {
+        known.set(v, v);
+        fresh_v.push(v as u32);
+    }
+
+    let mut ledger = MessageLedger::new(edge_slot_count(subgraph.edge_ids()));
+    for round in 1..=radius {
+        ledger.start_round();
+        let mut next_fresh: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, fresh_v) in fresh.iter().enumerate() {
+            if fresh_v.is_empty() {
+                continue;
+            }
+            let bundle_bytes = TOKEN_BYTES * fresh_v.len() as u64;
+            for (neighbor, parallel) in &classes[v] {
+                let carrier = match routing {
+                    FloodRouting::PerEdge => unreachable!("handled above"),
+                    FloodRouting::Canonical => parallel[0],
+                    FloodRouting::CongestionAware => {
+                        // Round-robin over the class; the higher-ID endpoint
+                        // starts one slot ahead, so classes of size ≥ 2 never
+                        // carry both directions on the same edge in a round.
+                        let k = parallel.len();
+                        let offset = usize::from(v > neighbor.index());
+                        parallel[(round as usize - 1 + offset) % k]
+                    }
+                };
+                ledger.record_edge(carrier, bundle_bytes);
+                let u = neighbor.index();
+                for &token in fresh_v {
+                    if known.set(u, token as usize) {
+                        next_fresh[u].push(token);
+                    }
+                }
+            }
+        }
+        fresh = next_fresh;
+    }
+
+    let tokens_received = (0..n).map(|v| known.count_row(v)).collect();
+    Ok(BroadcastOutcome {
+        cost: ledger.summary(),
+        radius,
+        tokens_received,
+        subgraph_edges: subgraph.edge_count(),
+        known: Some(KnownTokens {
+            words_per_row: known.words_per_row,
+            data: known.data,
+        }),
+        ledger,
+    })
+}
+
+/// [`t_local_broadcast`] under an explicit [`FloodRouting`] policy: flooding
+/// within distance `stretch · t` with the chosen parallel-edge routing (see
+/// [`flood_on_subgraph_routed`]).
+///
+/// # Errors
+///
+/// Returns an error if `stretch` is zero or an edge ID is unknown.
+pub fn t_local_broadcast_routed(
+    graph: &MultiGraph,
+    spanner_edges: impl IntoIterator<Item = EdgeId>,
+    t: u32,
+    stretch: u32,
+    routing: FloodRouting,
+) -> CoreResult<BroadcastOutcome> {
+    if stretch == 0 {
+        return Err(CoreError::invalid_parameter(
+            "the stretch must be at least 1",
+        ));
+    }
+    flood_on_subgraph_routed(graph, spanner_edges, stretch.saturating_mul(t), routing)
+}
+
 /// The `t`-local broadcast of Lemma 12: flooding within distance
 /// `stretch · t` on a `stretch`-spanner given by `spanner_edges`.
 ///
@@ -435,6 +591,96 @@ mod tests {
         assert_eq!(
             doubled.ledger.fault_totals().duplicated,
             clean.cost.messages
+        );
+    }
+
+    #[test]
+    fn routing_policies_coincide_on_simple_graphs() {
+        let graph = connected_erdos_renyi(&GeneratorConfig::new(40, 9), 0.15).unwrap();
+        let per_edge = flood_on_subgraph(&graph, graph.edge_ids(), 3).unwrap();
+        for routing in [
+            FloodRouting::PerEdge,
+            FloodRouting::Canonical,
+            FloodRouting::CongestionAware,
+        ] {
+            let routed = flood_on_subgraph_routed(&graph, graph.edge_ids(), 3, routing).unwrap();
+            assert_eq!(routed, per_edge, "{routing:?}");
+        }
+    }
+
+    /// Doubled cycle edges: canonical routing piles both directions onto the
+    /// first parallel edge, congestion-aware routing gives each direction its
+    /// own — same bundles, same totals, flatter congestion.
+    #[test]
+    fn congestion_aware_routing_flattens_parallel_classes() {
+        let mut graph = MultiGraph::new(6);
+        for v in 0..6u32 {
+            let u = NodeId::new(v);
+            let w = NodeId::new((v + 1) % 6);
+            graph.add_edge(u, w).unwrap();
+            graph.add_edge(u, w).unwrap();
+        }
+        let canonical =
+            flood_on_subgraph_routed(&graph, graph.edge_ids(), 3, FloodRouting::Canonical).unwrap();
+        let aware =
+            flood_on_subgraph_routed(&graph, graph.edge_ids(), 3, FloodRouting::CongestionAware)
+                .unwrap();
+        // Identical traffic and knowledge...
+        assert_eq!(aware.cost, canonical.cost);
+        assert_eq!(aware.ledger.total_bytes(), canonical.ledger.total_bytes());
+        assert_eq!(aware.tokens_received, canonical.tokens_received);
+        // ...but the congestion column flattens from 2 to 1.
+        let aware_snap = aware.ledger.congestion_snapshot();
+        let canonical_snap = canonical.ledger.congestion_snapshot();
+        assert_eq!(canonical_snap.peak, 2);
+        assert_eq!(aware_snap.peak, 1);
+        assert!(aware_snap.never_exceeds(&canonical_snap));
+        // One bundle per (sender, distinct neighbor): half the per-edge
+        // flood's traffic on a doubled graph.
+        let per_edge = flood_on_subgraph(&graph, graph.edge_ids(), 3).unwrap();
+        assert_eq!(2 * canonical.cost.messages, per_edge.cost.messages);
+    }
+
+    #[test]
+    fn neighbor_routed_policies_share_knowledge_with_the_per_edge_flood() {
+        let mut graph = connected_erdos_renyi(&GeneratorConfig::new(30, 4), 0.2).unwrap();
+        // Thicken a few links with parallel capacity.
+        for (u, v) in [(0u32, 1u32), (3, 7), (10, 11)] {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            if !graph.edges_between(u, v).is_empty() {
+                graph.add_edge(u, v).unwrap();
+            }
+        }
+        let per_edge = flood_on_subgraph(&graph, graph.edge_ids(), 4).unwrap();
+        for routing in [FloodRouting::Canonical, FloodRouting::CongestionAware] {
+            let routed = flood_on_subgraph_routed(&graph, graph.edge_ids(), 4, routing).unwrap();
+            assert_eq!(routed.tokens_received, per_edge.tokens_received);
+            assert_eq!(routed.coverage_violations(&graph, 4).unwrap(), 0);
+            assert!(routed.cost.messages <= per_edge.cost.messages);
+        }
+    }
+
+    #[test]
+    fn routed_parameter_validation() {
+        let graph = cycle_graph(&GeneratorConfig::new(5, 0)).unwrap();
+        assert!(t_local_broadcast_routed(
+            &graph,
+            graph.edge_ids(),
+            1,
+            0,
+            FloodRouting::CongestionAware
+        )
+        .is_err());
+        assert!(flood_on_subgraph_routed(
+            &MultiGraph::new(0),
+            std::iter::empty(),
+            1,
+            FloodRouting::Canonical
+        )
+        .is_err());
+        assert!(
+            flood_on_subgraph_routed(&graph, [EdgeId::new(77)], 1, FloodRouting::Canonical)
+                .is_err()
         );
     }
 

@@ -8,6 +8,7 @@
 //! and compared by the experiment harness.
 
 use crate::error::CoreResult;
+use crate::planner::{GraphStats, SpannerProfile};
 use crate::sampler::Sampler;
 use freelunch_graph::{EdgeId, MultiGraph};
 use freelunch_runtime::CostReport;
@@ -58,11 +59,37 @@ pub trait SpannerAlgorithm {
     /// Implementations return an error for invalid inputs (e.g. an empty
     /// graph).
     fn construct(&self, graph: &MultiGraph, seed: u64) -> CoreResult<SpannerResult>;
+
+    /// Cost-model hook for the adaptive planner: a closed-form prediction
+    /// of the spanner's size and construction cost from cheap
+    /// [`GraphStats`], without running the construction. Algorithms with a
+    /// calibrated model override this (see `docs/PLANNER.md` for the
+    /// calibration provenance); the default `None` makes the planner fall
+    /// back to its own generic second-stage model.
+    fn predicted_profile(&self, _stats: &GraphStats) -> Option<SpannerProfile> {
+        None
+    }
 }
 
 impl SpannerAlgorithm for Sampler {
     fn name(&self) -> String {
         format!("sampler(k={}, h={})", self.params().k, self.params().h)
+    }
+
+    /// The paper's Theorem 2 size law with the planner's calibrated scale:
+    /// `|S| ≈ min(m, scale · n^{1+1/h})`, construction ≈ the planner's
+    /// capped-incidence query model.
+    fn predicted_profile(&self, stats: &GraphStats) -> Option<SpannerProfile> {
+        let model = crate::planner::CostModel::default();
+        let h = f64::from(self.params().h.max(1));
+        let edges = (stats.edges as f64)
+            .min(model.spanner_scale * (stats.nodes as f64).powf(1.0 + 1.0 / h));
+        let construction_messages = model.query_cost
+            * stats.capped_incidence_bound(model.query_cap(stats.nodes, self.params().k));
+        Some(SpannerProfile {
+            edges,
+            construction_messages,
+        })
     }
 
     fn construct(&self, graph: &MultiGraph, seed: u64) -> CoreResult<SpannerResult> {

@@ -98,7 +98,8 @@ pub use error::{RuntimeError, RuntimeResult};
 pub use fault::{CrashSchedule, FaultPlan, LinkCut, MessageFate};
 pub use knowledge::{InitialKnowledge, KnowledgeModel, Port};
 pub use metrics::{
-    edge_slot_count, CostReport, ExecutionMetrics, FaultCause, FaultTotals, MessageLedger,
+    edge_slot_count, CongestionSnapshot, CostReport, ExecutionMetrics, FaultCause, FaultTotals,
+    MessageLedger,
 };
 pub use node::{Context, Envelope, NodeProgram, Outgoing};
 pub use trace::{Trace, TraceEvent, TraceMode};

@@ -181,6 +181,53 @@ pub struct FaultTotals {
     pub dropped_crash: u64,
 }
 
+/// A frozen per-round congestion summary of a [`MessageLedger`]: the
+/// congestion column (per-round maximum edge load) pulled out into a
+/// self-contained, serializable value so congestion-aware routing
+/// experiments can compare executions without carrying whole ledgers.
+///
+/// Produced by [`MessageLedger::congestion_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CongestionSnapshot {
+    /// The maximum number of messages carried by any single edge in each
+    /// round slot (slot 0 = initialization), copied from the ledger's
+    /// congestion column.
+    pub per_round_max: Vec<u64>,
+    /// The worst per-round edge congestion over the whole execution.
+    pub peak: u64,
+    /// The edge carrying the most messages over the whole execution, as
+    /// `(edge_index, message_count)`; `None` if nothing was recorded.
+    pub busiest_edge: Option<(usize, u64)>,
+    /// Total messages recorded by the ledger the snapshot was taken from
+    /// (so "congestion flattened, traffic unchanged" is checkable from the
+    /// snapshot alone).
+    pub total_messages: u64,
+}
+
+impl CongestionSnapshot {
+    /// Number of round slots with per-round congestion strictly above
+    /// `threshold` — the congestion *tail* that congestion-aware routing
+    /// tries to flatten.
+    pub fn rounds_above(&self, threshold: u64) -> usize {
+        self.per_round_max
+            .iter()
+            .filter(|&&c| c > threshold)
+            .count()
+    }
+
+    /// Returns `true` if this snapshot's congestion never exceeds `other`'s
+    /// in any round slot (missing slots count as zero). This is the pointwise
+    /// guarantee congestion-aware routing makes against canonical routing.
+    pub fn never_exceeds(&self, other: &CongestionSnapshot) -> bool {
+        let slots = self.per_round_max.len().max(other.per_round_max.len());
+        (0..slots).all(|r| {
+            let mine = self.per_round_max.get(r).copied().unwrap_or(0);
+            let theirs = other.per_round_max.get(r).copied().unwrap_or(0);
+            mine <= theirs
+        })
+    }
+}
+
 /// The message-complexity ledger: per-edge and per-round message counts plus
 /// payload byte sizing (a CONGEST-style bandwidth view of the execution).
 ///
@@ -542,6 +589,19 @@ impl MessageLedger {
             messages: self.total_messages(),
         }
     }
+
+    /// Freezes the ledger's congestion column into a self-contained
+    /// [`CongestionSnapshot`] (per-round maximum edge load, overall peak,
+    /// busiest edge, and the total message count for a
+    /// traffic-unchanged cross-check).
+    pub fn congestion_snapshot(&self) -> CongestionSnapshot {
+        CongestionSnapshot {
+            per_round_max: self.max_edge_messages_per_round.clone(),
+            peak: self.max_congestion(),
+            busiest_edge: self.busiest_edge(),
+            total_messages: self.total_messages(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -706,6 +766,53 @@ mod tests {
         assert_eq!(ledger.messages_per_edge(), &[0, 1, 0, 1]);
         ledger.ensure_edge_slots(1); // shrink requests are no-ops
         assert_eq!(ledger.edge_slots(), 4);
+    }
+
+    #[test]
+    fn congestion_snapshot_freezes_the_congestion_column() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.start_round();
+        ledger.record(0, 1);
+        ledger.record(0, 1);
+        ledger.record(1, 1);
+        ledger.start_round();
+        ledger.record(1, 1);
+        let snap = ledger.congestion_snapshot();
+        assert_eq!(snap.per_round_max, vec![0, 2, 1]);
+        assert_eq!(snap.peak, 2);
+        assert_eq!(snap.busiest_edge, Some((0, 2)));
+        assert_eq!(snap.total_messages, 4);
+        assert_eq!(snap.rounds_above(1), 1);
+        assert_eq!(snap.rounds_above(0), 2);
+        assert_eq!(snap.rounds_above(2), 0);
+    }
+
+    #[test]
+    fn congestion_snapshot_pointwise_comparison() {
+        let flat = CongestionSnapshot {
+            per_round_max: vec![0, 1, 1],
+            peak: 1,
+            busiest_edge: Some((0, 2)),
+            total_messages: 4,
+        };
+        let spiky = CongestionSnapshot {
+            per_round_max: vec![0, 2, 1],
+            peak: 2,
+            busiest_edge: Some((0, 3)),
+            total_messages: 4,
+        };
+        assert!(flat.never_exceeds(&spiky));
+        assert!(!spiky.never_exceeds(&flat));
+        assert!(flat.never_exceeds(&flat));
+        // Missing trailing slots count as zero on either side.
+        let short = CongestionSnapshot {
+            per_round_max: vec![0, 1],
+            peak: 1,
+            busiest_edge: None,
+            total_messages: 1,
+        };
+        assert!(short.never_exceeds(&flat));
+        assert!(!flat.never_exceeds(&short));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! pins down are documented in `docs/CHURN.md`.
 
 use freelunch::algorithms::{BallGathering, LubyMis, MaximalMatching, RandomizedColoring};
+use freelunch::core::planner::SchemePlanner;
 use freelunch::graph::generators::{
     barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
 };
@@ -449,6 +450,72 @@ fn churn_resolution_is_backend_independent() {
         |node, _| BallGathering::new(node, BROADCAST_T),
         BallGathering::known_ids,
     );
+}
+
+/// The planner row of the churn matrix: a planner-driven run re-plans at
+/// epoch boundaries from the live overlay via
+/// [`SchemePlanner::plan_overlay`], which re-samples [`GraphStats`] from
+/// the surviving topology. The per-epoch plan sequence must be
+/// bit-identical across replays and across shard counts {1, 2, 8} (churn
+/// resolution is engine-global), the decision must never flip mid-run on
+/// these workloads, and the stream must actually move the sampled stats —
+/// otherwise the row is vacuous.
+///
+/// [`GraphStats`]: freelunch::core::planner::GraphStats
+#[test]
+fn planner_replans_deterministically_under_churn() {
+    let planner = SchemePlanner::new(BROADCAST_T).unwrap();
+    for (workload, graph) in workloads() {
+        let churn = mixed_plan(&graph);
+        // Run the broadcast workload under the mixed stream, pausing every
+        // two rounds (an "epoch") to re-plan from the live overlay.
+        let epoch_plans = |shards: usize| {
+            let config = NetworkConfig::with_seed(7).sharded(shards);
+            let mut network = Network::with_plans(
+                &graph,
+                config,
+                FaultPlan::none(),
+                churn.clone(),
+                InProcessTransport::new(),
+                |node, _| BallGathering::new(node, BROADCAST_T),
+            )
+            .unwrap();
+            let mut plans = Vec::new();
+            for _epoch in 0..4 {
+                network.run_rounds(2).unwrap();
+                let overlay = network.churn_overlay().expect("churn plan installed");
+                plans.push(planner.plan_overlay(overlay).unwrap());
+            }
+            plans
+        };
+        let reference = epoch_plans(SHARD_COUNTS[0]);
+        let replay = epoch_plans(SHARD_COUNTS[0]);
+        assert_eq!(reference, replay, "{workload}: replay diverged");
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{replay:?}"),
+            "{workload}: replay rendering diverged"
+        );
+        for &shards in &SHARD_COUNTS[1..] {
+            assert_eq!(
+                reference,
+                epoch_plans(shards),
+                "{workload}: plans differ at {shards} shards"
+            );
+        }
+        for (epoch, plan) in reference.iter().enumerate() {
+            assert_eq!(
+                plan.decision, reference[0].decision,
+                "{workload}: decision flipped at epoch {epoch}"
+            );
+        }
+        assert!(
+            reference
+                .windows(2)
+                .any(|pair| pair[0].stats != pair[1].stats),
+            "{workload}: churn never moved the sampled stats — the planner row is vacuous"
+        );
+    }
 }
 
 /// The acceptance-criteria grid shape, pinned so a refactor cannot quietly

@@ -13,7 +13,10 @@ use freelunch::algorithms::{
     is_maximal_independent_set, is_maximal_matching, is_proper_coloring, BallGathering,
     LocalLeaderElection, LubyMis, MaximalMatching, RandomizedColoring,
 };
-use freelunch::baselines::{direct_flooding, gossip_broadcast, BaswanaSen, GreedySpanner};
+use freelunch::baselines::{
+    direct_flooding, gossip_broadcast, BaswanaSen, ClusterSpanner, GreedySpanner,
+};
+use freelunch::core::planner::{PathChoice, PlanReport, SchemePlanner};
 use freelunch::core::spanner_api::SpannerAlgorithm;
 use freelunch::graph::generators::{
     barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
@@ -538,6 +541,49 @@ fn neutral_mock_reproduces_the_canonical_trace() {
             trace
         };
         assert_eq!(run_traced(false), run_traced(true), "trace differs: {name}");
+    }
+}
+
+/// The planner row of the matrix: a [`SchemePlanner`] decision and the full
+/// self-auditing [`PlanReport`] are functions of (graph, seed) only — the
+/// engine's shard count and trace mode must not leak into them, even when
+/// the report carries an engine-measured direct ledger from that very
+/// engine configuration. (The cross-*backend* half of this contract lives
+/// in `tests/planner_matrix.rs`.)
+#[test]
+fn planner_reports_are_shard_and_trace_invariant() {
+    let planner = SchemePlanner::new(2).unwrap();
+    let second = ClusterSpanner::new(1).unwrap();
+    for (name, graph) in workloads() {
+        let plan = planner.plan_with_second_stage(&graph, &second).unwrap();
+        // All three 96-node sparse families sit deep in the direct regime.
+        assert_eq!(plan.decision, PathChoice::Direct, "{name}");
+        let mut reference: Option<PlanReport> = None;
+        for trace_mode in [TraceMode::Full, TraceMode::Off] {
+            for shards in SHARD_COUNTS {
+                let config = NetworkConfig::with_seed(9)
+                    .traced(100_000)
+                    .trace_mode(trace_mode)
+                    .sharded(shards);
+                let mut network =
+                    Network::new(&graph, config, |node, _| BallGathering::new(node, 2)).unwrap();
+                network.run_until_halt(50).unwrap();
+                let mut report = plan.execute(&graph, 9, &second).unwrap();
+                report.attach_engine_direct(network.ledger().clone());
+                let where_ = format!("{name}: {shards} shards ({trace_mode:?})");
+                match &reference {
+                    None => reference = Some(report),
+                    Some(expected) => {
+                        assert_eq!(expected, &report, "{where_}: report differs");
+                        assert_eq!(
+                            format!("{expected:?}"),
+                            format!("{report:?}"),
+                            "{where_}: report rendering differs"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -13,8 +13,10 @@ use freelunch::algorithms::BallGathering;
 use freelunch::baselines::{direct_flooding, gossip_broadcast, BaswanaSen, ClusterSpanner};
 use freelunch::core::ledger::{CostPhase, Ledger};
 use freelunch::core::maintain::IncrementalSpanner;
-use freelunch::core::reduction::tlocal::TOKEN_BYTES;
-use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+use freelunch::core::reduction::tlocal::{flood_on_subgraph_routed, FloodRouting, TOKEN_BYTES};
+use freelunch::graph::generators::{
+    barabasi_albert, sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
+};
 use freelunch::graph::{EdgeId, MultiGraph, NodeId};
 use freelunch::runtime::{CostReport, MessageLedger, Network, NetworkConfig};
 
@@ -354,6 +356,168 @@ fn maintenance_charges_land_in_their_own_ledger_phase() {
         (ratio - 100.0 / scheme.messages as f64).abs() < 1e-12,
         "free-lunch ratio must price maintenance in: {ratio}"
     );
+}
+
+/// K4 with the (0, 1) edge doubled: e0..e5 as in [`k4`], plus e6 = (0, 1).
+fn k4_doubled_edge() -> MultiGraph {
+    let mut g = k4();
+    g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+    g
+}
+
+/// The diamond (4-cycle 0−1−2−3 plus the chord (0, 2)) with the chord
+/// doubled: e0=(0,1), e1=(1,2), e2=(2,3), e3=(3,0), e4=(0,2), e5=(0,2).
+fn diamond_doubled_chord() -> MultiGraph {
+    let mut g = MultiGraph::new(4);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 2)] {
+        g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+    }
+    g
+}
+
+#[test]
+fn congestion_aware_routing_on_k4_with_a_doubled_edge_counts_exactly() {
+    // Neighbor-class routing sends one bundle per (sender, distinct
+    // neighbor) per round: 4 nodes × 3 neighbors = 12 bundles per round,
+    // and on K4 every node stays fresh through round 2 → exactly 24
+    // messages at radius 2, whatever the parallel (0, 1) pair does.
+    let graph = k4_doubled_edge();
+    let edges: Vec<EdgeId> = graph.edge_ids().collect();
+    let run =
+        |routing| flood_on_subgraph_routed(&graph, edges.iter().copied(), 2, routing).unwrap();
+    let canonical = run(FloodRouting::Canonical);
+    let aware = run(FloodRouting::CongestionAware);
+    for outcome in [&canonical, &aware] {
+        assert_eq!(outcome.cost.messages, 24);
+        assert_eq!(outcome.ledger.messages_per_round(), &[0, 12, 12][..]);
+        // Simple edges carry both directions, so the per-round peak is 2
+        // for both policies; only the parallel class distribution differs.
+        assert_eq!(outcome.ledger.max_edge_messages_per_round(), &[0, 2, 2][..]);
+        // Round 1 bundles one token (12 × 4 B), round 2 the three tokens
+        // learned in round 1 (12 × 12 B).
+        assert_eq!(outcome.ledger.bytes_per_round()[1], 12 * TOKEN_BYTES);
+        assert_eq!(outcome.ledger.bytes_per_round()[2], 12 * 3 * TOKEN_BYTES);
+        assert_eq!(outcome.tokens_received, vec![4, 4, 4, 4]);
+    }
+    // Canonical always picks the lowest-ID edge of the (0, 1) class: e0
+    // carries all 4 bundles, the parallel e6 idles.
+    assert_eq!(
+        canonical.ledger.messages_per_edge(),
+        &[4, 4, 4, 4, 4, 4, 0][..]
+    );
+    // Congestion-aware round-robins the class with a direction offset: each
+    // of e0/e6 carries one direction per round — 2 and 2.
+    assert_eq!(aware.ledger.messages_per_edge(), &[2, 4, 4, 4, 4, 4, 2][..]);
+    // Pointwise domination holds in both directions here (equal peaks).
+    let canonical_snap = canonical.ledger.congestion_snapshot();
+    let aware_snap = aware.ledger.congestion_snapshot();
+    assert!(aware_snap.never_exceeds(&canonical_snap));
+    assert_eq!(aware_snap.total_messages, canonical_snap.total_messages);
+    // The historical per-edge flood charges every incident edge instead of
+    // every neighbor class: Σ deg = 14 bundles per round → 28 total, with
+    // the same knowledge spread.
+    let per_edge = run(FloodRouting::PerEdge);
+    assert_eq!(per_edge.cost.messages, 28);
+    assert_eq!(per_edge.tokens_received, vec![4, 4, 4, 4]);
+}
+
+#[test]
+fn congestion_aware_routing_on_the_diamond_chord_counts_exactly() {
+    // Diamond distinct-neighbor degrees are 3, 2, 3, 2 → 10 bundles per
+    // round; every node learns something in round 1, so round 2 repeats:
+    // exactly 20 messages at radius 2.
+    let graph = diamond_doubled_chord();
+    let edges: Vec<EdgeId> = graph.edge_ids().collect();
+    let run =
+        |routing| flood_on_subgraph_routed(&graph, edges.iter().copied(), 2, routing).unwrap();
+    let canonical = run(FloodRouting::Canonical);
+    let aware = run(FloodRouting::CongestionAware);
+    for outcome in [&canonical, &aware] {
+        assert_eq!(outcome.cost.messages, 20);
+        assert_eq!(outcome.ledger.messages_per_round(), &[0, 10, 10][..]);
+        assert_eq!(outcome.tokens_received, vec![4, 4, 4, 4]);
+    }
+    // The chord class (e4, e5): canonical rides e4 in both directions every
+    // round (4 total, e5 idle); aware gives each direction its own edge.
+    assert_eq!(
+        canonical.ledger.messages_per_edge(),
+        &[4, 4, 4, 4, 4, 0][..]
+    );
+    assert_eq!(aware.ledger.messages_per_edge(), &[4, 4, 4, 4, 2, 2][..]);
+    assert_eq!(
+        canonical.ledger.total_bytes(),
+        aware.ledger.total_bytes(),
+        "routing must not change the byte bill"
+    );
+    assert!(aware
+        .ledger
+        .congestion_snapshot()
+        .never_exceeds(&canonical.ledger.congestion_snapshot()));
+}
+
+#[test]
+fn congestion_aware_routing_dominates_canonical_on_duplicated_graphs() {
+    // The property the routing variant guarantees on any multigraph:
+    // identical totals/bytes/knowledge, and per-round max edge congestion
+    // pointwise ≤ canonical. With every edge doubled the peak strictly
+    // drops (each direction gets its own parallel edge).
+    let community = sparse_planted_partition(&GeneratorConfig::new(96, 23), 4, 8.0, 1.0).unwrap();
+    let scale_free = barabasi_albert(&GeneratorConfig::new(96, 29), 3).unwrap();
+    for (name, base) in [("communities", community), ("scale-free", scale_free)] {
+        for stride in [1usize, 2] {
+            let mut graph = MultiGraph::new(base.node_count());
+            let pairs: Vec<_> = base.edges().map(|e| (e.u, e.v)).collect();
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                graph.add_edge(u, v).unwrap();
+                if i % stride == 0 {
+                    graph.add_edge(u, v).unwrap();
+                }
+            }
+            for radius in [2u32, 3] {
+                let edges: Vec<EdgeId> = graph.edge_ids().collect();
+                let canonical = flood_on_subgraph_routed(
+                    &graph,
+                    edges.iter().copied(),
+                    radius,
+                    FloodRouting::Canonical,
+                )
+                .unwrap();
+                let aware = flood_on_subgraph_routed(
+                    &graph,
+                    edges.iter().copied(),
+                    radius,
+                    FloodRouting::CongestionAware,
+                )
+                .unwrap();
+                let case = format!("{name} stride={stride} radius={radius}");
+                assert_eq!(canonical.cost, aware.cost, "{case}: totals changed");
+                assert_eq!(
+                    canonical.ledger.total_bytes(),
+                    aware.ledger.total_bytes(),
+                    "{case}: bytes changed"
+                );
+                assert_eq!(
+                    canonical.tokens_received, aware.tokens_received,
+                    "{case}: knowledge changed"
+                );
+                let canonical_snap = canonical.ledger.congestion_snapshot();
+                let aware_snap = aware.ledger.congestion_snapshot();
+                assert!(
+                    aware_snap.never_exceeds(&canonical_snap),
+                    "{case}: congestion-aware exceeded canonical"
+                );
+                if stride == 1 {
+                    assert!(
+                        aware_snap.peak < canonical_snap.peak,
+                        "{case}: full duplication must flatten the peak \
+                         (aware {} vs canonical {})",
+                        aware_snap.peak,
+                        canonical_snap.peak
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Runs `BallGathering` for two rounds and returns the engine's ledger.
