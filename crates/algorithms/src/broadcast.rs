@@ -7,6 +7,7 @@
 //! round, the message-reduced execution floods a spanner.
 
 use freelunch_graph::NodeId;
+use freelunch_runtime::transport::CodecError;
 use freelunch_runtime::{Context, Envelope, NodeProgram};
 use std::collections::BTreeSet;
 
@@ -68,6 +69,63 @@ impl NodeProgram for BallGathering {
     /// bundle length.
     fn payload_bytes(message: &Vec<u32>) -> u64 {
         4 * message.len() as u64
+    }
+
+    /// Checkpoint encoding: horizon, then the known set (already sorted —
+    /// it is a `BTreeSet`) and the fresh list, each with a `u32` count
+    /// prefix (all little-endian).
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.horizon.to_le_bytes());
+        buf.extend_from_slice(&(self.known.len() as u32).to_le_bytes());
+        for &id in &self.known {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.fresh.len() as u32).to_le_bytes());
+        for &id in &self.fresh {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let u32_at = |i: usize| -> Result<u32, CodecError> {
+            if i + 4 > bytes.len() {
+                return Err(CodecError::Truncated {
+                    needed: i + 4,
+                    got: bytes.len(),
+                });
+            }
+            Ok(u32::from_le_bytes([
+                bytes[i],
+                bytes[i + 1],
+                bytes[i + 2],
+                bytes[i + 3],
+            ]))
+        };
+        let horizon = u32_at(0)?;
+        let known_count = u32_at(4)? as usize;
+        let mut known = BTreeSet::new();
+        let mut cursor = 8;
+        for _ in 0..known_count {
+            known.insert(u32_at(cursor)?);
+            cursor += 4;
+        }
+        let fresh_count = u32_at(cursor)? as usize;
+        cursor += 4;
+        let mut fresh = Vec::with_capacity(fresh_count);
+        for _ in 0..fresh_count {
+            fresh.push(u32_at(cursor)?);
+            cursor += 4;
+        }
+        if cursor != bytes.len() {
+            return Err(CodecError::Oversized {
+                expected: cursor,
+                got: bytes.len(),
+            });
+        }
+        self.horizon = horizon;
+        self.known = known;
+        self.fresh = fresh;
+        Ok(())
     }
 }
 

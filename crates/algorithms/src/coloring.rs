@@ -131,6 +131,85 @@ impl NodeProgram for RandomizedColoring {
             }
         }
     }
+
+    /// Checkpoint encoding: palette size, conflict flag, proposal and color
+    /// as flagged `u32`s, then the forbidden set *sorted* with a `u32`
+    /// count prefix — the set iterates in hash order, so sorting is what
+    /// keeps the blob deterministic (all little-endian).
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.palette_size.to_le_bytes());
+        buf.push(u8::from(self.conflict));
+        for option in [self.proposal, self.color] {
+            match option {
+                None => {
+                    buf.push(0);
+                    buf.extend_from_slice(&0u32.to_le_bytes());
+                }
+                Some(value) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        let mut forbidden: Vec<u32> = self.forbidden.iter().copied().collect();
+        forbidden.sort_unstable();
+        buf.extend_from_slice(&(forbidden.len() as u32).to_le_bytes());
+        for color in forbidden {
+            buf.extend_from_slice(&color.to_le_bytes());
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        const FIXED: usize = 4 + 1 + 5 + 5 + 4;
+        if bytes.len() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                got: bytes.len(),
+            });
+        }
+        let u32_at =
+            |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let palette_size = u32_at(0);
+        let conflict = match bytes[4] {
+            0 => false,
+            1 => true,
+            tag => return Err(CodecError::InvalidTag { tag }),
+        };
+        let flagged = |flag_at: usize| -> Result<Option<u32>, CodecError> {
+            let value = u32_at(flag_at + 1);
+            match bytes[flag_at] {
+                0 if value != 0 => Err(CodecError::InvalidPadding),
+                0 => Ok(None),
+                1 => Ok(Some(value)),
+                tag => Err(CodecError::InvalidTag { tag }),
+            }
+        };
+        let proposal = flagged(5)?;
+        let color = flagged(10)?;
+        let count = u32_at(15) as usize;
+        let expected = FIXED + count * 4;
+        if bytes.len() < expected {
+            return Err(CodecError::Truncated {
+                needed: expected,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > expected {
+            return Err(CodecError::Oversized {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        self.palette_size = palette_size;
+        self.conflict = conflict;
+        self.proposal = proposal;
+        self.color = color;
+        self.forbidden = bytes[FIXED..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(())
+    }
 }
 
 /// Verifies that the assignment is a proper coloring with at most

@@ -170,6 +170,83 @@ impl NodeProgram for LubyMis {
             }
         }
     }
+
+    /// Checkpoint encoding: decision tag, current priority, the best
+    /// neighbor priority as a flagged `u64`, then the active-port list with
+    /// a `u32` count prefix (all little-endian).
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        buf.push(match self.state {
+            MisState::Undecided => 0,
+            MisState::InSet => 1,
+            MisState::OutOfSet => 2,
+        });
+        buf.extend_from_slice(&self.my_priority.to_le_bytes());
+        match self.best_neighbor_priority {
+            None => {
+                buf.push(0);
+                buf.extend_from_slice(&0u64.to_le_bytes());
+            }
+            Some(best) => {
+                buf.push(1);
+                buf.extend_from_slice(&best.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.active_ports.len() as u32).to_le_bytes());
+        for &port in &self.active_ports {
+            buf.extend_from_slice(&(port as u32).to_le_bytes());
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        const FIXED: usize = 1 + 8 + 1 + 8 + 4;
+        if bytes.len() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                got: bytes.len(),
+            });
+        }
+        let state = match bytes[0] {
+            0 => MisState::Undecided,
+            1 => MisState::InSet,
+            2 => MisState::OutOfSet,
+            tag => return Err(CodecError::InvalidTag { tag }),
+        };
+        let mut raw8 = [0u8; 8];
+        raw8.copy_from_slice(&bytes[1..9]);
+        let my_priority = u64::from_le_bytes(raw8);
+        raw8.copy_from_slice(&bytes[10..18]);
+        let best = u64::from_le_bytes(raw8);
+        let best_neighbor_priority = match bytes[9] {
+            0 if best != 0 => return Err(CodecError::InvalidPadding),
+            0 => None,
+            1 => Some(best),
+            tag => return Err(CodecError::InvalidTag { tag }),
+        };
+        let mut raw4 = [0u8; 4];
+        raw4.copy_from_slice(&bytes[18..22]);
+        let count = u32::from_le_bytes(raw4) as usize;
+        let expected = FIXED + count * 4;
+        if bytes.len() < expected {
+            return Err(CodecError::Truncated {
+                needed: expected,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > expected {
+            return Err(CodecError::Oversized {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        self.state = state;
+        self.my_priority = my_priority;
+        self.best_neighbor_priority = best_neighbor_priority;
+        self.active_ports = bytes[FIXED..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize)
+            .collect();
+        Ok(())
+    }
 }
 
 /// Verifies that the per-node states form a maximal independent set of the

@@ -10,7 +10,14 @@
 //! a pure function of `(graph, config, plan)` — independent of the shard
 //! count, the trace mode, the transport backend, and thread scheduling.
 //! Churning executions therefore inherit the bit-identical cross-shard and
-//! cross-backend guarantees of clean runs (`tests/churn_matrix.rs`).
+//! cross-backend guarantees of clean runs (`tests/churn_matrix.rs`) — and
+//! the plane is **checkpoint-restorable**: a
+//! [`NetworkCheckpoint`](crate::checkpoint::NetworkCheckpoint) stores only
+//! a plan digest plus the capture round's resolved events; restore replays
+//! the stream up to the checkpoint round (rejecting any divergence) and
+//! resumes, because each round's events are keyed by absolute round rather
+//! than by generator history (`docs/RECOVERY.md`;
+//! `tests/recovery_matrix.rs` pins kill/resume identity mid-churn).
 //!
 //! # Event model and canonical application order
 //!

@@ -93,6 +93,7 @@
 //! # }
 //! ```
 
+use crate::checkpoint::{debug_digest, graph_fingerprint, NetworkCheckpoint, PendingEnvelope};
 use crate::churn::{ChurnDriver, ChurnEvent, ChurnPlan};
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::fault::{FaultPlan, MessageFate, ResolvedFaultPlan};
@@ -100,8 +101,8 @@ use crate::knowledge::{initial_knowledge, InitialKnowledge, KnowledgeModel};
 use crate::metrics::{edge_slot_count, CostReport, ExecutionMetrics, FaultCause, MessageLedger};
 use crate::node::{Context, Envelope, NodeProgram, Outgoing};
 use crate::trace::{Trace, TraceMode};
-use crate::transport::{InProcessTransport, RoundBarrier, Transport};
-use freelunch_graph::{CsrGraph, IncidentEdge, MultiGraph, NodeId, OverlayGraph};
+use crate::transport::{InProcessTransport, RoundBarrier, Transport, WireCodec};
+use freelunch_graph::{CsrGraph, EdgeId, IncidentEdge, MultiGraph, NodeId, OverlayGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -1193,6 +1194,348 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
             executed += 1;
         }
         Ok(())
+    }
+}
+
+impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T>
+where
+    P::Message: WireCodec,
+{
+    /// Captures a [`NetworkCheckpoint`] of the execution at the current
+    /// round boundary (call it between [`Network::run_round`] calls, never
+    /// mid-round — the engine offers no mid-round entry point anyway).
+    ///
+    /// Restoring the checkpoint into a fresh network over the same graph,
+    /// plans, and a factory producing the same programs resumes the
+    /// execution **bit-identical** to never having stopped: outputs,
+    /// metrics, ledger, and remaining trace all match the uninterrupted run
+    /// (`tests/recovery_matrix.rs` pins this across shard counts, backends,
+    /// and composed fault+churn plans). Programs that carry cross-round
+    /// state must implement [`NodeProgram::save_state`] /
+    /// [`NodeProgram::load_state`] for the guarantee to hold. See
+    /// `docs/RECOVERY.md` for the full contract and the file format.
+    ///
+    /// On a distributed backend the checkpoint describes this rank: only
+    /// the owned range's program and RNG state is meaningful, and a rank
+    /// restores its *own* checkpoint (cross-rank restore is out of scope).
+    pub fn checkpoint(&self) -> NetworkCheckpoint {
+        let fault_totals = self.ledger.fault_totals();
+        let mut program_states = Vec::with_capacity(self.programs.len());
+        for program in &self.programs {
+            let mut state = Vec::new();
+            program.save_state(&mut state);
+            program_states.push(state);
+        }
+        let mut pending = Vec::with_capacity(self.pending.len());
+        for mailbox in &self.pending {
+            let mut envelopes = Vec::with_capacity(mailbox.len());
+            for envelope in mailbox {
+                let mut payload = Vec::new();
+                envelope.payload.encode(&mut payload);
+                envelopes.push(PendingEnvelope {
+                    edge: envelope.edge.raw(),
+                    from: envelope.from.raw(),
+                    payload,
+                });
+            }
+            pending.push(envelopes);
+        }
+        NetworkCheckpoint {
+            config: self.config,
+            round: self.round,
+            initialized: self.initialized,
+            in_flight: self.in_flight as u64,
+            remote_halted: self.remote_halted as u64,
+            node_count: self.programs.len() as u32,
+            edge_slots: self.ledger.edge_slots() as u32,
+            graph_digest: graph_fingerprint(self.programs.len(), &self.csr.endpoint_table()),
+            fault_digest: debug_digest(&self.fault_plan()),
+            churn_digest: debug_digest(&self.churn_plan()),
+            halted: self.halted.clone(),
+            rng_positions: self.rngs.iter().map(|rng| rng.word_pos()).collect(),
+            port_silence: self.faults.as_ref().map(|_| self.port_silence.clone()),
+            program_states,
+            pending,
+            churn_events: self.churn_events.clone(),
+            metrics_messages_per_round: self.metrics.messages_per_round.clone(),
+            metrics_messages_per_node: self.metrics.messages_per_node.clone(),
+            ledger_messages_per_edge: self.ledger.messages_per_edge().to_vec(),
+            ledger_bytes_per_edge: self.ledger.bytes_per_edge().to_vec(),
+            ledger_messages_per_round: self.ledger.messages_per_round().to_vec(),
+            ledger_bytes_per_round: self.ledger.bytes_per_round().to_vec(),
+            ledger_max_edge_messages_per_round: self.ledger.max_edge_messages_per_round().to_vec(),
+            ledger_dropped_per_round: self.ledger.dropped_per_round().to_vec(),
+            ledger_duplicated_per_round: self.ledger.duplicated_per_round().to_vec(),
+            ledger_dropped_random: fault_totals.dropped_random,
+            ledger_dropped_link_cut: fault_totals.dropped_link_cut,
+            ledger_dropped_crash: fault_totals.dropped_crash,
+            trace_capacity: self.trace.capacity() as u64,
+            trace_dropped: self.trace.dropped(),
+            trace_events: self.trace.events().to_vec(),
+        }
+    }
+
+    /// Rebuilds a network from `checkpoint`, resuming the execution at the
+    /// captured round boundary — the fully general restore, mirroring
+    /// [`Network::with_plans`]: the caller re-supplies the graph, both
+    /// plans, the transport, and a factory producing the same programs as
+    /// the original run (the factory runs first, then
+    /// [`NodeProgram::load_state`] overwrites each program's state).
+    ///
+    /// The supplied graph and plans are validated against the checkpoint's
+    /// fingerprints, and the churn history is *replayed* (rounds `0..=r`)
+    /// rather than deserialized — both planes are keyed streams, so the
+    /// replay is exact and doubles as an integrity check: the replayed
+    /// events of the capture round must equal the recorded ones.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Checkpoint`] if the graph, fault plan, or churn plan
+    /// differs from what the checkpoint was taken under, a section has the
+    /// wrong shape, a program or pending payload fails to decode, or the
+    /// churn replay diverges — plus every error [`Network::with_plans`] can
+    /// return.
+    pub fn restore_with_plans(
+        graph: &MultiGraph,
+        plan: FaultPlan,
+        churn_plan: ChurnPlan,
+        transport: T,
+        checkpoint: &NetworkCheckpoint,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        let mut network = Network::with_plans(
+            graph,
+            checkpoint.config,
+            plan,
+            churn_plan,
+            transport,
+            factory,
+        )?;
+        let node_count = network.programs.len();
+        if checkpoint.node_count as usize != node_count {
+            return Err(RuntimeError::checkpoint(format!(
+                "checkpoint was taken on a {}-node graph, the supplied graph has {} node(s)",
+                checkpoint.node_count, node_count
+            )));
+        }
+        let graph_digest = graph_fingerprint(node_count, &network.csr.endpoint_table());
+        if graph_digest != checkpoint.graph_digest {
+            return Err(RuntimeError::checkpoint(format!(
+                "the supplied graph (fingerprint {graph_digest:#018x}) is not the graph the \
+                 checkpoint was taken on (fingerprint {:#018x})",
+                checkpoint.graph_digest
+            )));
+        }
+        let fault_digest = debug_digest(&network.fault_plan());
+        if fault_digest != checkpoint.fault_digest {
+            return Err(RuntimeError::checkpoint(format!(
+                "the supplied fault plan (digest {fault_digest:#018x}) is not the plan the \
+                 checkpoint was taken under (digest {:#018x})",
+                checkpoint.fault_digest
+            )));
+        }
+        let churn_digest = debug_digest(&network.churn_plan());
+        if churn_digest != checkpoint.churn_digest {
+            return Err(RuntimeError::checkpoint(format!(
+                "the supplied churn plan (digest {churn_digest:#018x}) is not the plan the \
+                 checkpoint was taken under (digest {:#018x})",
+                checkpoint.churn_digest
+            )));
+        }
+        if checkpoint.port_silence.is_some() != network.faults.is_some() {
+            return Err(RuntimeError::checkpoint(
+                "the checkpoint's port-silence section does not match the supplied fault \
+                 plan (present under a plan, absent without one)",
+            ));
+        }
+        let shape = |name: &str, got: usize, want: usize| -> RuntimeResult<()> {
+            if got == want {
+                Ok(())
+            } else {
+                Err(RuntimeError::checkpoint(format!(
+                    "checkpoint section {name} has {got} entr(ies), expected {want}"
+                )))
+            }
+        };
+        shape("halted", checkpoint.halted.len(), node_count)?;
+        shape("rng_positions", checkpoint.rng_positions.len(), node_count)?;
+        shape(
+            "program_states",
+            checkpoint.program_states.len(),
+            node_count,
+        )?;
+        shape("pending", checkpoint.pending.len(), node_count)?;
+        shape(
+            "metrics.messages_per_node",
+            checkpoint.metrics_messages_per_node.len(),
+            node_count,
+        )?;
+        if let Some(silence) = &checkpoint.port_silence {
+            shape("port_silence", silence.len(), node_count)?;
+        }
+        if !checkpoint.initialized {
+            if checkpoint.round != 0 {
+                return Err(RuntimeError::checkpoint(format!(
+                    "an uninitialized checkpoint cannot be at round {}",
+                    checkpoint.round
+                )));
+            }
+            if !checkpoint.churn_events.is_empty() {
+                return Err(RuntimeError::checkpoint(
+                    "an uninitialized checkpoint cannot carry churn events",
+                ));
+            }
+        }
+        let expected_rounds = checkpoint.round as usize + 1;
+        shape(
+            "metrics.messages_per_round",
+            checkpoint.metrics_messages_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.messages_per_round",
+            checkpoint.ledger_messages_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.bytes_per_round",
+            checkpoint.ledger_bytes_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.max_edge_messages_per_round",
+            checkpoint.ledger_max_edge_messages_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.dropped_per_round",
+            checkpoint.ledger_dropped_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.duplicated_per_round",
+            checkpoint.ledger_duplicated_per_round.len(),
+            expected_rounds,
+        )?;
+        shape(
+            "ledger.messages_per_edge",
+            checkpoint.ledger_messages_per_edge.len(),
+            checkpoint.edge_slots as usize,
+        )?;
+        shape(
+            "ledger.bytes_per_edge",
+            checkpoint.ledger_bytes_per_edge.len(),
+            checkpoint.edge_slots as usize,
+        )?;
+        // Replay the churn history: the plan is a keyed stream, so applying
+        // rounds 0..=r reproduces the capture-time topology (growing the
+        // ledger's edge slots on the way) — and the capture round's events
+        // double as a divergence check.
+        if checkpoint.initialized {
+            for round in 0..=checkpoint.round {
+                network.apply_churn(round)?;
+            }
+            if network.churn_events != checkpoint.churn_events {
+                return Err(RuntimeError::checkpoint(format!(
+                    "churn replay diverged at round {}: the supplied plan produced {:?}, the \
+                     checkpoint recorded {:?}",
+                    checkpoint.round, network.churn_events, checkpoint.churn_events
+                )));
+            }
+        }
+        if network.ledger.edge_slots() != checkpoint.edge_slots as usize {
+            return Err(RuntimeError::checkpoint(format!(
+                "after churn replay the ledger has {} edge slot(s), the checkpoint was taken \
+                 with {}",
+                network.ledger.edge_slots(),
+                checkpoint.edge_slots
+            )));
+        }
+        network.round = checkpoint.round;
+        network.initialized = checkpoint.initialized;
+        network.in_flight = checkpoint.in_flight as usize;
+        network.remote_halted = checkpoint.remote_halted as usize;
+        network.halted.copy_from_slice(&checkpoint.halted);
+        for (rng, &pos) in network.rngs.iter_mut().zip(&checkpoint.rng_positions) {
+            rng.set_word_pos(pos);
+        }
+        for (index, state) in checkpoint.program_states.iter().enumerate() {
+            network.programs[index].load_state(state).map_err(|e| {
+                RuntimeError::checkpoint(format!(
+                    "program state of node {index} failed to load: {e}"
+                ))
+            })?;
+        }
+        for (index, mailbox) in checkpoint.pending.iter().enumerate() {
+            let target = &mut network.pending[index];
+            target.clear();
+            target.reserve(mailbox.len());
+            for (slot, envelope) in mailbox.iter().enumerate() {
+                let payload =
+                    <P::Message as WireCodec>::decode(&envelope.payload).map_err(|e| {
+                        RuntimeError::checkpoint(format!(
+                            "pending message {slot} of node {index} failed to decode: {e}"
+                        ))
+                    })?;
+                target.push(Envelope {
+                    edge: EdgeId::new(envelope.edge),
+                    from: NodeId::new(envelope.from),
+                    payload,
+                });
+            }
+        }
+        if let Some(silence) = &checkpoint.port_silence {
+            network.port_silence = silence.clone();
+        }
+        network.metrics = ExecutionMetrics {
+            messages_per_round: checkpoint.metrics_messages_per_round.clone(),
+            messages_per_node: checkpoint.metrics_messages_per_node.clone(),
+        };
+        network.ledger = MessageLedger::from_checkpoint_parts(
+            checkpoint.ledger_messages_per_edge.clone(),
+            checkpoint.ledger_bytes_per_edge.clone(),
+            checkpoint.ledger_messages_per_round.clone(),
+            checkpoint.ledger_bytes_per_round.clone(),
+            checkpoint.ledger_max_edge_messages_per_round.clone(),
+            checkpoint.ledger_dropped_per_round.clone(),
+            checkpoint.ledger_duplicated_per_round.clone(),
+            checkpoint.ledger_dropped_random,
+            checkpoint.ledger_dropped_link_cut,
+            checkpoint.ledger_dropped_crash,
+        );
+        network.trace = Trace::from_checkpoint_parts(
+            checkpoint.trace_events.clone(),
+            checkpoint.trace_capacity as usize,
+            checkpoint.trace_dropped,
+        );
+        Ok(network)
+    }
+}
+
+impl<P: NodeProgram> Network<P>
+where
+    P::Message: WireCodec,
+{
+    /// Rebuilds a plan-free, in-process network from `checkpoint` — the
+    /// single-process counterpart of [`Network::restore_with_plans`], for
+    /// executions built with [`Network::new`].
+    ///
+    /// # Errors
+    ///
+    /// Every error [`Network::restore_with_plans`] can return.
+    pub fn restore(
+        graph: &MultiGraph,
+        checkpoint: &NetworkCheckpoint,
+        factory: impl FnMut(NodeId, &InitialKnowledge) -> P,
+    ) -> RuntimeResult<Self> {
+        Network::restore_with_plans(
+            graph,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+            InProcessTransport::new(),
+            checkpoint,
+            factory,
+        )
     }
 }
 

@@ -39,6 +39,14 @@ pub enum RuntimeError {
         /// Description of the failure, naming the peer/frame where known.
         reason: String,
     },
+    /// A checkpoint could not be captured, serialized, or restored: a torn
+    /// or corrupt file, a version/fingerprint mismatch, or program state
+    /// that failed to round-trip (see `docs/RECOVERY.md`).
+    Checkpoint {
+        /// Description of the failure, naming the offending field/offset
+        /// where known.
+        reason: String,
+    },
     /// An error surfaced from the graph substrate.
     Graph(freelunch_graph::GraphError),
 }
@@ -58,6 +66,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             RuntimeError::Transport { reason } => write!(f, "transport error: {reason}"),
+            RuntimeError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
             RuntimeError::Graph(err) => write!(f, "graph error: {err}"),
         }
     }
@@ -89,6 +98,13 @@ impl RuntimeError {
     /// Convenience constructor for [`RuntimeError::Transport`].
     pub fn transport(reason: impl Into<String>) -> Self {
         RuntimeError::Transport {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`RuntimeError::Checkpoint`].
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        RuntimeError::Checkpoint {
             reason: reason.into(),
         }
     }

@@ -14,6 +14,16 @@
 //! bit-identical cross-shard guarantee as clean runs, and every scenario is
 //! replayable from three seeds.
 //!
+//! The keying discipline is also what makes the fault plane
+//! **checkpoint-restorable** for free: a [`NetworkCheckpoint`] stores no
+//! fault state beyond a plan digest and the per-port silence counters —
+//! restore re-supplies the plan and simply resumes drawing from the streams
+//! at the checkpoint round, since every outcome is keyed by absolute round,
+//! not by how many draws preceded it (`docs/RECOVERY.md`;
+//! `tests/recovery_matrix.rs` pins mid-plan kill/resume identity).
+//!
+//! [`NetworkCheckpoint`]: crate::checkpoint::NetworkCheckpoint
+//!
 //! # Fault kinds
 //!
 //! * **Message drop** — each message is dropped independently with

@@ -36,6 +36,13 @@
 //! topology. See [`churn`] for the event model and `docs/CHURN.md` for the
 //! repair-vs-rebuild contract.
 //!
+//! Executions are crash-recoverable: [`Network::checkpoint`] captures the
+//! full engine state at a round boundary as a [`NetworkCheckpoint`] (a
+//! versioned, checksummed, torn-write-safe file format), and restoring it
+//! resumes **bit-identical** to an uninterrupted run — on every backend,
+//! including a killed TCP rank rejoining its surviving peers under a
+//! [`RecoveryPolicy`]. See [`checkpoint`] and `docs/RECOVERY.md`.
+//!
 //! Messages move through a zero-allocation, double-buffered mailbox plane:
 //! sends are resolved (validated, receiver looked up) at send time, every
 //! buffer is reused across rounds, and per-message trace recording is
@@ -82,6 +89,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod churn;
 pub mod engine;
 pub mod error;
@@ -92,6 +100,7 @@ pub mod node;
 pub mod trace;
 pub mod transport;
 
+pub use checkpoint::{CheckpointHeader, NetworkCheckpoint, PendingEnvelope};
 pub use churn::{ChurnDriver, ChurnEvent, ChurnEventSpec, ChurnPlan, ScheduledChurn};
 pub use engine::{Network, NetworkConfig};
 pub use error::{RuntimeError, RuntimeResult};
@@ -105,5 +114,5 @@ pub use node::{Context, Envelope, NodeProgram, Outgoing};
 pub use trace::{Trace, TraceEvent, TraceMode};
 pub use transport::{
     BarrierOutcome, CodecError, Disturbance, FrameRecord, InProcessTransport, MockTransport,
-    RoundBarrier, TcpConfig, TcpTransport, Transport, WireCodec,
+    RecoveryPolicy, RejoinHello, RoundBarrier, TcpConfig, TcpTransport, Transport, WireCodec,
 };

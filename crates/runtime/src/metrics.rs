@@ -362,6 +362,42 @@ impl MessageLedger {
         }
     }
 
+    /// Rebuilds a ledger from its checkpointed serialized-contract columns
+    /// (see `docs/RECOVERY.md`). The `#[serde(skip)]` scratch is re-created
+    /// zeroed, which is exact at a round boundary: scratch only carries
+    /// intra-slot congestion state, and the first thing a resumed engine
+    /// does to its ledger is [`MessageLedger::start_round`], which resets
+    /// the scratch anyway.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint_parts(
+        messages_per_edge: Vec<u64>,
+        bytes_per_edge: Vec<u64>,
+        messages_per_round: Vec<u64>,
+        bytes_per_round: Vec<u64>,
+        max_edge_messages_per_round: Vec<u64>,
+        dropped_per_round: Vec<u64>,
+        duplicated_per_round: Vec<u64>,
+        dropped_random: u64,
+        dropped_link_cut: u64,
+        dropped_crash: u64,
+    ) -> Self {
+        let edge_slots = messages_per_edge.len();
+        MessageLedger {
+            messages_per_edge,
+            bytes_per_edge,
+            messages_per_round,
+            bytes_per_round,
+            max_edge_messages_per_round,
+            dropped_per_round,
+            duplicated_per_round,
+            dropped_random,
+            dropped_link_cut,
+            dropped_crash,
+            round_edge_counts: vec![0; edge_slots],
+            touched: Vec::new(),
+        }
+    }
+
     /// Closes the current round slot and opens the next one.
     pub fn start_round(&mut self) {
         for &edge in &self.touched {

@@ -300,6 +300,39 @@ pub trait NodeProgram: Send {
         let _ = message;
         std::mem::size_of::<Self::Message>() as u64
     }
+
+    /// Serializes this node's mutable program state into `buf` for a
+    /// [`NetworkCheckpoint`](crate::checkpoint::NetworkCheckpoint), using
+    /// the `docs/TRANSPORT.md` wire conventions (little-endian fields, no
+    /// implicit lengths).
+    ///
+    /// The default writes nothing, which is correct only for stateless
+    /// programs; any program whose `round` reads fields mutated in earlier
+    /// rounds must override both hooks, and
+    /// [`Network::checkpoint`](crate::engine::Network::checkpoint) of a
+    /// restored run is only bit-identical if
+    /// `load_state(save_state(p)) == p`. See `docs/RECOVERY.md`.
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        let _ = buf;
+    }
+
+    /// Restores the state written by [`NodeProgram::save_state`] into a
+    /// freshly constructed program (the factory runs first, then this).
+    ///
+    /// The default accepts only an empty blob — matching the default
+    /// `save_state` — and rejects anything else, so forgetting to override
+    /// one of the pair is a loud [`CodecError`](crate::transport::CodecError)
+    /// at restore time, never a silently wrong resume.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::transport::CodecError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::transport::CodecError::Oversized {
+                expected: 0,
+                got: bytes.len(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

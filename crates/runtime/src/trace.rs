@@ -64,6 +64,26 @@ impl Trace {
         }
     }
 
+    /// Rebuilds a trace from its checkpointed parts (see
+    /// `docs/RECOVERY.md`): the stored events, the storage capacity, and
+    /// the overflow-drop counter.
+    pub(crate) fn from_checkpoint_parts(
+        events: Vec<TraceEvent>,
+        capacity: usize,
+        dropped: u64,
+    ) -> Self {
+        Trace {
+            events,
+            capacity,
+            dropped,
+        }
+    }
+
+    /// The event-storage capacity the trace was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Records an event, storing it if capacity allows.
     pub fn record(&mut self, event: TraceEvent) {
         if self.events.len() < self.capacity {

@@ -263,9 +263,6 @@ impl<M: Send + Sync> Transport<M> for InProcessTransport<M> {
         } else {
             self.deliver_parallel(barrier);
         }
-        Ok(BarrierOutcome {
-            delivered: local_sent,
-            remote_halted: 0,
-        })
+        Ok(BarrierOutcome::local(local_sent))
     }
 }

@@ -273,9 +273,6 @@ impl<M: WireCodec + Send + Sync + Clone + std::fmt::Debug> Transport<M> for Mock
                 });
             }
         }
-        Ok(BarrierOutcome {
-            delivered: local_sent,
-            remote_halted: 0,
-        })
+        Ok(BarrierOutcome::local(local_sent))
     }
 }

@@ -34,7 +34,7 @@ mod tcp;
 pub use codec::{check_size_and_padding, pad_to_size, CodecError, WireCodec};
 pub use in_process::InProcessTransport;
 pub use mock::{Disturbance, FrameRecord, MockTransport};
-pub use tcp::{TcpConfig, TcpTransport};
+pub use tcp::{RejoinHello, TcpConfig, TcpTransport};
 
 use crate::churn::ChurnEvent;
 use crate::error::RuntimeResult;
@@ -107,8 +107,62 @@ pub struct BarrierOutcome {
     /// [`Network::pending_messages`](crate::engine::Network::pending_messages).
     pub delivered: u64,
     /// Halted nodes outside the engine's owned range, as exchanged at this
-    /// barrier (0 for single-process backends).
+    /// barrier (0 for single-process backends). Under
+    /// [`RecoveryPolicy::DegradeToSurvivors`] the nodes of a dead rank are
+    /// counted here, so termination detection keeps working without them.
     pub remote_halted: usize,
+    /// Peers that died and were re-admitted through the rejoin handshake
+    /// during this barrier (always 0 on single-process backends; see
+    /// `docs/RECOVERY.md`).
+    pub recovered_peers: usize,
+    /// Peers declared dead and degraded to survivors during this barrier
+    /// under [`RecoveryPolicy::DegradeToSurvivors`] (always 0 on
+    /// single-process backends).
+    pub lost_peers: usize,
+}
+
+impl BarrierOutcome {
+    /// The outcome of a single-process barrier: everything sent locally was
+    /// delivered, no remote nodes exist, no peers died or recovered.
+    pub fn local(delivered: u64) -> Self {
+        BarrierOutcome {
+            delivered,
+            remote_halted: 0,
+            recovered_peers: 0,
+            lost_peers: 0,
+        }
+    }
+}
+
+/// How a distributed barrier reacts when a peer rank stops responding (a
+/// dead socket, a liveness deadline blown past `io_timeout`).
+///
+/// The policy is threaded through [`BarrierOutcome`]: a recovery shows up
+/// as [`BarrierOutcome::recovered_peers`], a degradation as
+/// [`BarrierOutcome::lost_peers`] plus the dead rank's nodes in
+/// [`BarrierOutcome::remote_halted`]. Single-process backends never consult
+/// it. Semantics are specified in `docs/RECOVERY.md`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Abort the barrier with a precise
+    /// [`RuntimeError::Transport`](crate::error::RuntimeError::Transport)
+    /// the moment a peer is declared dead (the default, and the pre-recovery
+    /// behavior).
+    #[default]
+    FailFast,
+    /// Block the barrier and wait for the dead rank to relaunch from its
+    /// checkpoint and rejoin through the handshake, for up to `attempts`
+    /// full liveness windows; abort only if it never comes back.
+    Retry {
+        /// Number of liveness windows (`io_timeout` each) to wait for the
+        /// rejoin before giving up.
+        attempts: u32,
+    },
+    /// Declare the rank dead and continue without it: its nodes are mapped
+    /// onto the existing fail-stop crash semantics (counted as halted, their
+    /// traffic gone), mirroring a
+    /// [`FaultPlan`](crate::fault::FaultPlan) crash of the whole range.
+    DegradeToSurvivors,
 }
 
 /// A delivery backend for the round barrier.

@@ -57,12 +57,41 @@
 //! # Connection setup
 //!
 //! Rank `r` listens on `peers[r]`, actively connects to every rank below it
-//! (retrying until `connect_timeout`), and accepts one connection from every
-//! rank above it. Both sides exchange a 16-byte handshake
+//! (capped exponential backoff with deterministic seeded jitter, retrying
+//! until `connect_timeout`), and accepts one connection from every rank
+//! above it. Both sides exchange a 16-byte handshake
 //! (`magic, version, world, rank`) before any frame moves. All sockets run
-//! with `TCP_NODELAY` and `io_timeout` read/write deadlines; every failure
-//! — setup, timeout, desynchronized or malformed frame, codec violation —
-//! surfaces as [`RuntimeError::Transport`].
+//! with `TCP_NODELAY`; every setup failure surfaces as
+//! [`RuntimeError::Transport`] naming the rank, peer address, attempt count
+//! and elapsed time.
+//!
+//! # Failure semantics and recovery
+//!
+//! Established sockets are *supervised*: reads poll in short slices and
+//! accumulate elapsed time against `io_timeout`. A peer that stalls but
+//! stays within the deadline is **`PeerSlow`** — the barrier silently keeps
+//! waiting. A closed connection (EOF/reset), a write failure, or a stall
+//! past `io_timeout` declares the peer **`PeerDead`**, and the configured
+//! [`RecoveryPolicy`] decides what happens next:
+//!
+//! * [`RecoveryPolicy::FailFast`] (default) — the barrier aborts with a
+//!   precise [`RuntimeError::Transport`].
+//! * [`RecoveryPolicy::Retry`] — the barrier blocks on the retained
+//!   listener and waits for the dead rank to relaunch from its checkpoint
+//!   and rejoin via [`TcpTransport::resume_from`]. The rejoin handshake
+//!   ([`RejoinHello`]) is checkpoint-anchored: the hello carries the
+//!   resume round, and a survivor at barrier round `r` only admits a peer
+//!   resuming at round `r - 1` (anything else is rejected as
+//!   desynchronized). On admission the survivor re-sends its current
+//!   round's frame, so the rejoined rank re-enters the mesh at the next
+//!   barrier with nothing lost.
+//! * [`RecoveryPolicy::DegradeToSurvivors`] — the dead rank's nodes are
+//!   mapped onto fail-stop crash semantics: counted as remotely halted so
+//!   termination detection keeps working, their traffic gone.
+//!
+//! `docs/RECOVERY.md` specifies the rejoin handshake, the bit-identity
+//! contract of checkpoint-based recovery, and the caveats of degraded
+//! continuation.
 //!
 //! The backend does not support [`TraceMode::Full`](crate::trace::TraceMode)
 //! (canonical-order trace events cannot be reconstructed from per-peer
@@ -73,15 +102,15 @@
 //! [`MessageLedger`]: crate::metrics::MessageLedger
 //! [`ExecutionMetrics`]: crate::metrics::ExecutionMetrics
 
-use super::codec::WireCodec;
-use super::{BarrierOutcome, RoundBarrier, Transport};
+use super::codec::{CodecError, WireCodec};
+use super::{BarrierOutcome, RecoveryPolicy, RoundBarrier, Transport};
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::metrics::FaultTotals;
 use crate::node::{Envelope, Outgoing};
 use freelunch_graph::{EdgeId, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -91,12 +120,25 @@ const MAGIC: u32 = 0x464C_5450;
 /// Frame protocol version; bumped on any wire-format change (v2 added the
 /// churn-event section).
 const VERSION: u32 = 2;
+/// Rejoin-handshake magic: `"FLRJ"` (freelunch rejoin), first bytes of a
+/// [`RejoinHello`] frame.
+const REJOIN_MAGIC: [u8; 4] = *b"FLRJ";
+/// Rejoin-handshake version; bumped on any [`RejoinHello`] layout change.
+const REJOIN_VERSION: u8 = 1;
+/// Rejoin-ack status word: the survivor admits the rejoining rank.
+const REJOIN_OK: u32 = 1;
+/// Rejoin-ack status word: the rejoin was rejected (desynchronized rounds).
+const REJOIN_REJECT: u32 = 0;
 /// Upper bound on a frame body, to reject absurd lengths from a corrupt or
 /// desynchronized stream before allocating.
 const MAX_BODY: u32 = 1 << 30;
 /// Fixed part of the frame body: round, sender_rank, sent_total, halted,
 /// msg_count, stats_len, churn_count.
 const BODY_FIXED: usize = 4 + 4 + 8 + 4 + 4 + 4 + 4;
+/// Liveness poll slice: socket reads time out in slices this long and
+/// accumulate elapsed time against `io_timeout`, so a dead peer is detected
+/// within one slice of the deadline instead of hanging a full blocking read.
+const POLL_SLICE: Duration = Duration::from_millis(50);
 
 /// Configuration of a [`TcpTransport`] process group.
 #[derive(Debug, Clone)]
@@ -109,21 +151,140 @@ pub struct TcpConfig {
     /// Deadline for the whole connection setup (active connects retry until
     /// it expires; pending accepts abort when it does).
     pub connect_timeout: Duration,
-    /// Per-operation read/write deadline on established sockets. A barrier
-    /// that waits longer than this on a peer fails with
-    /// [`RuntimeError::Transport`].
+    /// Liveness deadline on established sockets. A peer that stalls longer
+    /// than this at a barrier is declared dead (`PeerDead`); shorter stalls
+    /// are `PeerSlow` and waited out. What happens to a dead peer is
+    /// decided by [`TcpConfig::recovery`].
     pub io_timeout: Duration,
+    /// Reaction to a peer declared dead at the barrier (default:
+    /// [`RecoveryPolicy::FailFast`], the pre-recovery behavior).
+    pub recovery: RecoveryPolicy,
+    /// First connect-retry backoff delay; each failed attempt doubles it up
+    /// to [`TcpConfig::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single connect-retry backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic backoff jitter (each attempt draws its
+    /// jitter from a splitmix64 stream keyed by this seed and the attempt
+    /// number, so retry timing is reproducible for a given config).
+    pub backoff_seed: u64,
 }
 
 impl TcpConfig {
-    /// A config with default timeouts (10 s connect, 30 s per I/O op).
+    /// A config with default timeouts (10 s connect, 30 s liveness), the
+    /// fail-fast recovery policy, and 10 ms → 500 ms connect backoff.
     pub fn new(rank: usize, peers: Vec<SocketAddr>) -> Self {
         TcpConfig {
             rank,
             peers,
             connect_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_secs(30),
+            recovery: RecoveryPolicy::FailFast,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            backoff_seed: 0,
         }
+    }
+
+    /// Sets the [`RecoveryPolicy`] applied when a peer is declared dead.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the connect-retry backoff parameters (first delay, cap, jitter
+    /// seed).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration, seed: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self.backoff_seed = seed;
+        self
+    }
+}
+
+/// The checkpoint-anchored rejoin handshake frame (24 bytes on the wire).
+///
+/// A rank relaunched from a checkpoint dials every survivor's listener and
+/// opens with this frame: `"FLRJ"` magic, a version byte, the world size,
+/// its rank, and the round its checkpoint resumes from. A survivor blocked
+/// at barrier round `r` under [`RecoveryPolicy::Retry`] admits the peer
+/// only if `resume_round + 1 == r` — a stale or future checkpoint is
+/// rejected as desynchronized with a precise error on both sides (see
+/// `docs/RECOVERY.md`).
+///
+/// ```text
+/// [0..4]   magic "FLRJ"
+/// [4]      version (1)
+/// [5..8]   zero padding
+/// [8..12]  u32 world
+/// [12..16] u32 rank
+/// [16..20] u32 resume_round
+/// [20..24] zero padding
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinHello {
+    /// World size the rejoining rank was configured with (must match the
+    /// survivor's).
+    pub world: u32,
+    /// Rank of the rejoining process (must be the rank the survivor
+    /// declared dead).
+    pub rank: u32,
+    /// Round the rejoining rank's checkpoint resumes from; its next barrier
+    /// is `resume_round + 1`.
+    pub resume_round: u32,
+}
+
+impl RejoinHello {
+    /// Exact encoded size of a rejoin hello.
+    pub const WIRE_BYTES: usize = 24;
+}
+
+impl WireCodec for RejoinHello {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&REJOIN_MAGIC);
+        buf.push(REJOIN_VERSION);
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&self.world.to_le_bytes());
+        buf.extend_from_slice(&self.rank.to_le_bytes());
+        buf.extend_from_slice(&self.resume_round.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < Self::WIRE_BYTES {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_BYTES,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > Self::WIRE_BYTES {
+            return Err(CodecError::Oversized {
+                expected: Self::WIRE_BYTES,
+                got: bytes.len(),
+            });
+        }
+        if bytes[..4] != REJOIN_MAGIC {
+            let tag = bytes[..4]
+                .iter()
+                .zip(REJOIN_MAGIC.iter())
+                .find(|(got, want)| got != want)
+                .map(|(got, _)| *got)
+                .unwrap_or(bytes[0]);
+            return Err(CodecError::InvalidTag { tag });
+        }
+        if bytes[4] != REJOIN_VERSION {
+            return Err(CodecError::InvalidTag { tag: bytes[4] });
+        }
+        if bytes[5..8] != [0u8; 3] || bytes[20..24] != [0u8; 4] {
+            return Err(CodecError::InvalidPadding);
+        }
+        let word =
+            |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        Ok(RejoinHello {
+            world: word(8),
+            rank: word(12),
+            resume_round: word(16),
+        })
     }
 }
 
@@ -131,14 +292,22 @@ impl TcpConfig {
 pub struct TcpTransport<M> {
     rank: usize,
     world: usize,
-    /// Established streams, indexed by peer rank (`None` at the own slot).
+    /// The full config, retained for peer addresses, timeouts, the recovery
+    /// policy and the backoff parameters.
+    config: TcpConfig,
+    /// This rank's listener, retained after setup so a dead peer can rejoin
+    /// the mesh through it (kept non-blocking).
+    listener: TcpListener,
+    /// Established streams, indexed by peer rank (`None` at the own slot
+    /// and at slots whose peer is dead or awaiting rejoin).
     streams: Vec<Option<TcpStream>>,
     /// Per-peer message-record bytes accumulated while draining outboxes.
     frame_bufs: Vec<Vec<u8>>,
     /// Per-peer record counts matching `frame_bufs`.
     frame_counts: Vec<u32>,
-    /// The assembled frame (header + stats + records), one write per peer.
-    send_buf: Vec<u8>,
+    /// Per-peer fully assembled frames of the current round, kept so a
+    /// rejoined peer can be re-sent the frame it missed.
+    last_frames: Vec<Vec<u8>>,
     /// Incoming frame body buffer, reused across rounds.
     read_buf: Vec<u8>,
     /// Payload encoding scratch.
@@ -156,6 +325,16 @@ pub struct TcpTransport<M> {
     edge_stats: BTreeMap<u64, (u64, u64)>,
     /// Ledger fault totals as of the previous barrier, for delta encoding.
     prev_faults: FaultTotals,
+    /// Peers permanently declared dead under
+    /// [`RecoveryPolicy::DegradeToSurvivors`].
+    dead: Vec<bool>,
+    /// Peers whose death was detected during this barrier's write phase and
+    /// whose rejoin is still pending (resolved at their read slot).
+    rejoin_pending: Vec<bool>,
+    /// Cumulative count of peers re-admitted through the rejoin handshake.
+    recovered_total: u64,
+    /// Cumulative count of peers degraded to survivors.
+    lost_total: u64,
 }
 
 impl<M> fmt::Debug for TcpTransport<M> {
@@ -163,12 +342,187 @@ impl<M> fmt::Debug for TcpTransport<M> {
         f.debug_struct("TcpTransport")
             .field("rank", &self.rank)
             .field("world", &self.world)
+            .field("recovery", &self.config.recovery)
             .finish_non_exhaustive()
     }
 }
 
 fn transport_io(context: &str, err: std::io::Error) -> RuntimeError {
     RuntimeError::transport(format!("{context}: {err}"))
+}
+
+/// Evidence that a peer is dead, carried from the I/O layer to the
+/// [`RecoveryPolicy`] dispatch. A stall still within the liveness deadline
+/// is `PeerSlow` and never produces one of these — the read loop simply
+/// keeps polling.
+struct PeerDeath {
+    peer: usize,
+    /// Time spent waiting before the peer was declared dead (zero when the
+    /// death was immediate, e.g. a reset connection on write).
+    elapsed: Duration,
+    /// Liveness polls performed before declaring death.
+    polls: u32,
+    cause: String,
+}
+
+impl PeerDeath {
+    fn into_error(self, rank: usize, addr: &SocketAddr) -> RuntimeError {
+        if self.polls > 0 {
+            RuntimeError::transport(format!(
+                "rank {rank}: peer rank {} at {addr} is dead (PeerDead) after {:?} and {} \
+                 liveness poll(s): {}",
+                self.peer, self.elapsed, self.polls, self.cause
+            ))
+        } else {
+            RuntimeError::transport(format!(
+                "rank {rank}: peer rank {} at {addr} is dead (PeerDead): {}",
+                self.peer, self.cause
+            ))
+        }
+    }
+}
+
+/// Why a frame read failed: the peer died (subject to the recovery policy)
+/// or the stream carried a protocol violation (always fatal).
+enum ReadFailure {
+    Dead(PeerDeath),
+    Fatal(RuntimeError),
+}
+
+/// Reads exactly `buf.len()` bytes, polling in [`POLL_SLICE`] slices and
+/// accumulating elapsed time against `deadline_len`. Partial progress is
+/// kept across slices, so a slow peer (`PeerSlow`) is waited out; EOF, a
+/// reset, or a stall past the deadline declares the peer dead.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline_len: Duration,
+    peer: usize,
+    context: &str,
+) -> Result<(), PeerDeath> {
+    let start = Instant::now();
+    let mut filled = 0usize;
+    let mut polls = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(PeerDeath {
+                    peer,
+                    elapsed: start.elapsed(),
+                    polls,
+                    cause: format!("{context}: connection closed (EOF)"),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == ErrorKind::Interrupted => {}
+            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                polls += 1;
+                if start.elapsed() >= deadline_len {
+                    return Err(PeerDeath {
+                        peer,
+                        elapsed: start.elapsed(),
+                        polls,
+                        cause: format!(
+                            "{context}: liveness deadline {deadline_len:?} exceeded \
+                             (PeerSlow escalated to PeerDead)"
+                        ),
+                    });
+                }
+            }
+            Err(err) => {
+                return Err(PeerDeath {
+                    peer,
+                    elapsed: start.elapsed(),
+                    polls,
+                    cause: format!("{context}: {err}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The poll-slice read timeout installed on established sockets.
+fn poll_slice(io_timeout: Duration) -> Duration {
+    POLL_SLICE.min(io_timeout).max(Duration::from_millis(1))
+}
+
+/// Delay before connect-retry `attempt` (1-based): capped exponential
+/// growth from `backoff_base`, with the upper half of each window drawn
+/// from a splitmix64 stream keyed by `(backoff_seed, attempt)` — capped,
+/// jittered, and fully deterministic for a given config.
+fn backoff_delay(config: &TcpConfig, attempt: u32) -> Duration {
+    let base = (config.backoff_base.as_nanos() as u64).max(1);
+    let cap = (config.backoff_cap.as_nanos() as u64).max(base);
+    let mut window = base;
+    for _ in 1..attempt {
+        window = window.saturating_mul(2).min(cap);
+        if window == cap {
+            break;
+        }
+    }
+    let half = window / 2;
+    let jitter = crate::fault::splitmix64(
+        config
+            .backoff_seed
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(attempt),
+    ) % (half + 1);
+    Duration::from_nanos(half + jitter)
+}
+
+/// Dials `config.peers[peer]` with capped exponential backoff and seeded
+/// jitter, retrying until `deadline`. The deadline is checked *before*
+/// every sleep, so a nearly expired budget can never overshoot by a full
+/// retry interval. The error names the rank, peer address, attempt count
+/// and elapsed time.
+fn dial_with_backoff(
+    config: &TcpConfig,
+    peer: usize,
+    deadline: Instant,
+    purpose: &str,
+) -> RuntimeResult<TcpStream> {
+    let started = Instant::now();
+    let mut attempt: u32 = 0;
+    loop {
+        match TcpStream::connect_timeout(
+            &config.peers[peer],
+            Duration::from_millis(200).min(config.connect_timeout),
+        ) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => {
+                attempt += 1;
+                let delay = backoff_delay(config, attempt);
+                let now = Instant::now();
+                if now >= deadline || now + delay > deadline {
+                    return Err(RuntimeError::transport(format!(
+                        "rank {}: {purpose} rank {peer} at {} failed after {attempt} \
+                         attempt(s) over {:?} (connect_timeout {:?}): {err}",
+                        config.rank,
+                        config.peers[peer],
+                        started.elapsed(),
+                        config.connect_timeout
+                    )));
+                }
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// Installs the supervised-socket options: `TCP_NODELAY`, poll-slice read
+/// timeout, `io_timeout` write timeout.
+fn configure_stream(stream: &TcpStream, config: &TcpConfig) -> RuntimeResult<()> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| transport_io("set_nodelay", e))?;
+    stream
+        .set_read_timeout(Some(poll_slice(config.io_timeout)))
+        .map_err(|e| transport_io("set_read_timeout", e))?;
+    stream
+        .set_write_timeout(Some(config.io_timeout))
+        .map_err(|e| transport_io("set_write_timeout", e))
 }
 
 fn write_handshake(stream: &mut TcpStream, world: usize, rank: usize) -> RuntimeResult<()> {
@@ -182,11 +536,21 @@ fn write_handshake(stream: &mut TcpStream, world: usize, rank: usize) -> Runtime
         .map_err(|e| transport_io("handshake write", e))
 }
 
-fn read_handshake(stream: &mut TcpStream, world: usize) -> RuntimeResult<usize> {
+fn read_handshake(
+    stream: &mut TcpStream,
+    world: usize,
+    deadline_len: Duration,
+    rank: usize,
+) -> RuntimeResult<usize> {
     let mut hs = [0u8; 16];
-    stream
-        .read_exact(&mut hs)
-        .map_err(|e| transport_io("handshake read", e))?;
+    read_exact_deadline(stream, &mut hs, deadline_len, usize::MAX, "handshake read").map_err(
+        |death| {
+            RuntimeError::transport(format!(
+                "rank {rank}: handshake read failed after {:?} and {} poll(s): {}",
+                death.elapsed, death.polls, death.cause
+            ))
+        },
+    )?;
     let word = |i: usize| u32::from_le_bytes([hs[i], hs[i + 1], hs[i + 2], hs[i + 3]]);
     if word(0) != MAGIC {
         return Err(RuntimeError::transport(format!(
@@ -207,6 +571,15 @@ fn read_handshake(stream: &mut TcpStream, world: usize) -> RuntimeResult<usize> 
         )));
     }
     Ok(word(12) as usize)
+}
+
+/// Writes the 8-byte rejoin ack: `[u32 status] [u32 barrier_round]`.
+fn write_rejoin_ack(stream: &mut TcpStream, status: u32, round: u32) -> std::io::Result<()> {
+    let mut ack = [0u8; 8];
+    ack[0..4].copy_from_slice(&status.to_le_bytes());
+    ack[4..8].copy_from_slice(&round.to_le_bytes());
+    stream.write_all(&ack)?;
+    stream.flush()
 }
 
 impl<M> TcpTransport<M> {
@@ -248,38 +621,20 @@ impl<M> TcpTransport<M> {
                 "rank {rank} out of range for a {world}-rank world"
             )));
         }
-        let deadline = Instant::now() + config.connect_timeout;
+        let setup_started = Instant::now();
+        let deadline = setup_started + config.connect_timeout;
         let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
 
         // Actively connect to every lower rank (their listeners may still be
-        // coming up, so retry until the deadline).
+        // coming up, so retry with backoff until the deadline).
         for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
-            let stream = loop {
-                match TcpStream::connect_timeout(
-                    &config.peers[peer],
-                    Duration::from_millis(200).min(config.connect_timeout),
-                ) {
-                    Ok(stream) => break stream,
-                    Err(err) => {
-                        if Instant::now() >= deadline {
-                            return Err(RuntimeError::transport(format!(
-                                "connect to rank {peer} at {}: {err}",
-                                config.peers[peer]
-                            )));
-                        }
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                }
-            };
-            let mut stream = stream;
-            stream
-                .set_nodelay(true)
-                .map_err(|e| transport_io("set_nodelay", e))?;
-            stream
-                .set_read_timeout(Some(config.io_timeout))
-                .map_err(|e| transport_io("set_read_timeout", e))?;
+            let mut stream = dial_with_backoff(config, peer, deadline, "connect to")?;
+            configure_stream(&stream, config)?;
             write_handshake(&mut stream, world, rank)?;
-            let peer_rank = read_handshake(&mut stream, world)?;
+            let handshake_window = config
+                .io_timeout
+                .max(deadline.saturating_duration_since(Instant::now()));
+            let peer_rank = read_handshake(&mut stream, world, handshake_window, rank)?;
             if peer_rank != peer {
                 return Err(RuntimeError::transport(format!(
                     "connected to {} expecting rank {peer}, but it identifies as rank {peer_rank}",
@@ -294,19 +649,18 @@ impl<M> TcpTransport<M> {
             .set_nonblocking(true)
             .map_err(|e| transport_io("listener set_nonblocking", e))?;
         let mut expected = world - rank - 1;
+        let mut accept_polls: u32 = 0;
         while expected > 0 {
             match listener.accept() {
                 Ok((mut stream, addr)) => {
                     stream
                         .set_nonblocking(false)
                         .map_err(|e| transport_io("stream set_blocking", e))?;
-                    stream
-                        .set_nodelay(true)
-                        .map_err(|e| transport_io("set_nodelay", e))?;
-                    stream
-                        .set_read_timeout(Some(config.io_timeout))
-                        .map_err(|e| transport_io("set_read_timeout", e))?;
-                    let peer_rank = read_handshake(&mut stream, world)?;
+                    configure_stream(&stream, config)?;
+                    let handshake_window = config
+                        .io_timeout
+                        .max(deadline.saturating_duration_since(Instant::now()));
+                    let peer_rank = read_handshake(&mut stream, world, handshake_window, rank)?;
                     if peer_rank <= rank || peer_rank >= world {
                         return Err(RuntimeError::transport(format!(
                             "accepted {addr} identifying as rank {peer_rank}, which must not \
@@ -322,10 +676,16 @@ impl<M> TcpTransport<M> {
                     streams[peer_rank] = Some(stream);
                     expected -= 1;
                 }
-                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                Err(err) if err.kind() == ErrorKind::WouldBlock => {
+                    accept_polls += 1;
                     if Instant::now() >= deadline {
                         return Err(RuntimeError::transport(format!(
-                            "timed out waiting for {expected} higher-rank peer(s) to connect"
+                            "rank {rank} at {}: timed out after {:?} and {accept_polls} \
+                             accept poll(s) waiting for {expected} higher-rank peer(s) to \
+                             connect (connect_timeout {:?})",
+                            config.peers[rank],
+                            setup_started.elapsed(),
+                            config.connect_timeout
                         )));
                     }
                     std::thread::sleep(Duration::from_millis(5));
@@ -334,27 +694,138 @@ impl<M> TcpTransport<M> {
             }
         }
 
-        for stream in streams.iter().flatten() {
-            stream
-                .set_write_timeout(Some(config.io_timeout))
-                .map_err(|e| transport_io("set_write_timeout", e))?;
-        }
+        Ok(TcpTransport::assemble(
+            listener,
+            config.clone(),
+            streams,
+            FaultTotals::default(),
+        ))
+    }
 
-        Ok(TcpTransport {
-            rank,
+    /// Reconnects a rank relaunched from a checkpoint to the surviving
+    /// mesh: binds this rank's listener, dials every survivor with the
+    /// [`RejoinHello`] handshake (carrying `resume_round`, the round the
+    /// restored [`Network`](crate::engine::Network) reports as
+    /// [`current_round`](crate::engine::Network::current_round)), and waits
+    /// for each survivor's ack. Survivors blocked at barrier round
+    /// `resume_round + 1` under [`RecoveryPolicy::Retry`] admit the rank
+    /// and re-send their frames; the next [`run_round`] call then re-enters
+    /// the mesh in lockstep.
+    ///
+    /// `fault_baseline` must be the restored ledger's
+    /// [`fault_totals`](crate::metrics::MessageLedger::fault_totals)
+    /// (available as [`NetworkCheckpoint::fault_totals`]) so the next
+    /// frame's fault deltas pick up exactly where the checkpoint left off.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Transport`] on an invalid config, bind failure, a
+    /// survivor rejecting the rejoin as desynchronized, or any survivor not
+    /// acking before `connect_timeout`.
+    ///
+    /// [`run_round`]: crate::engine::Network::run_round
+    /// [`NetworkCheckpoint::fault_totals`]: crate::checkpoint::NetworkCheckpoint::fault_totals
+    pub fn resume_from(
+        config: &TcpConfig,
+        resume_round: u32,
+        fault_baseline: FaultTotals,
+    ) -> RuntimeResult<Self> {
+        let world = config.peers.len();
+        let rank = config.rank;
+        if rank >= world {
+            return Err(RuntimeError::transport(format!(
+                "rank {rank} out of range for a {world}-rank world"
+            )));
+        }
+        let listener = TcpListener::bind(config.peers[rank])
+            .map_err(|e| transport_io("bind listener for rejoin", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_io("listener set_nonblocking", e))?;
+        let deadline = Instant::now() + config.connect_timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+        let hello = RejoinHello {
+            world: world as u32,
+            rank: rank as u32,
+            resume_round,
+        };
+        let mut hello_buf = Vec::with_capacity(RejoinHello::WIRE_BYTES);
+        hello.encode(&mut hello_buf);
+        for (peer, slot) in streams.iter_mut().enumerate() {
+            if peer == rank {
+                continue;
+            }
+            let mut stream = dial_with_backoff(config, peer, deadline, "rejoin-dial survivor")?;
+            configure_stream(&stream, config)?;
+            stream
+                .write_all(&hello_buf)
+                .and_then(|_| stream.flush())
+                .map_err(|e| {
+                    transport_io(&format!("rank {rank}: rejoin hello to rank {peer}"), e)
+                })?;
+            // The survivor only acks once its barrier reaches the dead slot,
+            // so the ack window is the full connect budget.
+            let ack_window = config
+                .connect_timeout
+                .max(deadline.saturating_duration_since(Instant::now()));
+            let mut ack = [0u8; 8];
+            read_exact_deadline(&mut stream, &mut ack, ack_window, peer, "rejoin ack")
+                .map_err(|death| death.into_error(rank, &config.peers[peer]))?;
+            let status = u32::from_le_bytes([ack[0], ack[1], ack[2], ack[3]]);
+            let barrier_round = u32::from_le_bytes([ack[4], ack[5], ack[6], ack[7]]);
+            if status != REJOIN_OK {
+                return Err(RuntimeError::transport(format!(
+                    "rank {rank}: rank {peer} rejected the rejoin as desynchronized: its \
+                     barrier is at round {barrier_round}, this checkpoint resumes at round \
+                     {resume_round} (next barrier {})",
+                    resume_round.wrapping_add(1)
+                )));
+            }
+            if barrier_round != resume_round.wrapping_add(1) {
+                return Err(RuntimeError::transport(format!(
+                    "rank {rank}: rank {peer} acked the rejoin but reports barrier round \
+                     {barrier_round}, expected {}",
+                    resume_round.wrapping_add(1)
+                )));
+            }
+            *slot = Some(stream);
+        }
+        Ok(TcpTransport::assemble(
+            listener,
+            config.clone(),
+            streams,
+            fault_baseline,
+        ))
+    }
+
+    fn assemble(
+        listener: TcpListener,
+        config: TcpConfig,
+        streams: Vec<Option<TcpStream>>,
+        prev_faults: FaultTotals,
+    ) -> Self {
+        let world = config.peers.len();
+        TcpTransport {
+            rank: config.rank,
             world,
+            listener,
             streams,
             frame_bufs: (0..world).map(|_| Vec::new()).collect(),
             frame_counts: vec![0; world],
-            send_buf: Vec::new(),
+            last_frames: (0..world).map(|_| Vec::new()).collect(),
             read_buf: Vec::new(),
             payload_buf: Vec::new(),
             stats_buf: Vec::new(),
             churn_buf: Vec::new(),
             local_pending: Vec::new(),
             edge_stats: BTreeMap::new(),
-            prev_faults: FaultTotals::default(),
-        })
+            prev_faults,
+            dead: vec![false; world],
+            rejoin_pending: vec![false; world],
+            recovered_total: 0,
+            lost_total: 0,
+            config,
+        }
     }
 
     /// This process's rank.
@@ -365,6 +836,119 @@ impl<M> TcpTransport<M> {
     /// Number of ranks in the process group.
     pub fn world_size(&self) -> usize {
         self.world
+    }
+
+    /// The recovery policy this transport applies to dead peers.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.config.recovery
+    }
+
+    /// Cumulative number of peers re-admitted through the rejoin handshake
+    /// over this transport's lifetime.
+    pub fn recovered_peers_total(&self) -> u64 {
+        self.recovered_total
+    }
+
+    /// Cumulative number of peers degraded to survivors over this
+    /// transport's lifetime.
+    pub fn lost_peers_total(&self) -> u64 {
+        self.lost_total
+    }
+
+    /// Whether `rank` has been permanently declared dead under
+    /// [`RecoveryPolicy::DegradeToSurvivors`].
+    pub fn is_peer_dead(&self, rank: usize) -> bool {
+        self.dead.get(rank).copied().unwrap_or(false)
+    }
+
+    /// Blocks on the retained listener until the dead `slot` rank rejoins
+    /// with a round-consistent [`RejoinHello`], acks it, installs the fresh
+    /// stream, and re-sends this round's frame. Waits up to
+    /// `attempts × io_timeout`.
+    fn recover_peer(&mut self, slot: usize, round: u32, attempts: u32) -> RuntimeResult<()> {
+        self.streams[slot] = None;
+        self.rejoin_pending[slot] = false;
+        let started = Instant::now();
+        let deadline = started + self.config.io_timeout * attempts.max(1);
+        let mut accept_polls: u32 = 0;
+        let (mut stream, addr) = loop {
+            match self.listener.accept() {
+                Ok(pair) => break pair,
+                Err(err) if err.kind() == ErrorKind::WouldBlock => {
+                    accept_polls += 1;
+                    if Instant::now() >= deadline {
+                        return Err(RuntimeError::transport(format!(
+                            "rank {}: waited {:?} ({accept_polls} poll(s)) at the round-{round} \
+                             barrier for dead rank {slot} at {} to rejoin from its checkpoint; \
+                             giving up (RecoveryPolicy::Retry {{ attempts: {attempts} }} \
+                             exhausted)",
+                            self.rank,
+                            started.elapsed(),
+                            self.config.peers[slot]
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(err) => return Err(transport_io("rejoin accept", err)),
+            }
+        };
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| transport_io("stream set_blocking", e))?;
+        configure_stream(&stream, &self.config)?;
+        let mut hello_bytes = [0u8; RejoinHello::WIRE_BYTES];
+        read_exact_deadline(
+            &mut stream,
+            &mut hello_bytes,
+            self.config.io_timeout,
+            slot,
+            "rejoin hello",
+        )
+        .map_err(|death| death.into_error(self.rank, &addr))?;
+        let hello = RejoinHello::decode(&hello_bytes).map_err(|e| {
+            RuntimeError::transport(format!(
+                "rank {}: rejoin hello from {addr} failed to decode: {e}",
+                self.rank
+            ))
+        })?;
+        if hello.world as usize != self.world {
+            let _ = write_rejoin_ack(&mut stream, REJOIN_REJECT, round);
+            return Err(RuntimeError::transport(format!(
+                "rank {}: rejoin hello from {addr} is configured for a {}-rank world, this \
+                 mesh has {} ranks",
+                self.rank, hello.world, self.world
+            )));
+        }
+        if hello.rank as usize != slot {
+            let _ = write_rejoin_ack(&mut stream, REJOIN_REJECT, round);
+            return Err(RuntimeError::transport(format!(
+                "rank {}: expected dead rank {slot} to rejoin, but {addr} identifies as \
+                 rank {}",
+                self.rank, hello.rank
+            )));
+        }
+        if hello.resume_round.wrapping_add(1) != round {
+            let _ = write_rejoin_ack(&mut stream, REJOIN_REJECT, round);
+            return Err(RuntimeError::transport(format!(
+                "rank {}: rejoin from rank {slot} is desynchronized: its checkpoint resumes \
+                 at round {} (next barrier {}), but this barrier is at round {round}; \
+                 relaunch it from the checkpoint of round {}",
+                self.rank,
+                hello.resume_round,
+                hello.resume_round.wrapping_add(1),
+                round.saturating_sub(1)
+            )));
+        }
+        write_rejoin_ack(&mut stream, REJOIN_OK, round)
+            .map_err(|e| transport_io(&format!("rejoin ack to rank {slot}"), e))?;
+        // Whatever this barrier already wrote went to the dead socket and is
+        // gone; re-send this round's frame on the fresh connection.
+        stream
+            .write_all(&self.last_frames[slot])
+            .and_then(|_| stream.flush())
+            .map_err(|e| transport_io(&format!("re-send frame to rejoined rank {slot}"), e))?;
+        self.streams[slot] = Some(stream);
+        Ok(())
     }
 }
 
@@ -494,8 +1078,9 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> TcpTransport<M> {
         buf.extend_from_slice(&delta(faults.duplicated, self.prev_faults.duplicated).to_le_bytes());
     }
 
-    /// Writes this round's frame to peer `peer` (one buffered `write_all`).
-    fn write_frame(
+    /// Assembles this round's frame for peer `peer` into
+    /// `last_frames[peer]` (retained for rejoin re-sends).
+    fn build_frame(
         &mut self,
         peer: usize,
         round: u32,
@@ -509,54 +1094,83 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> TcpTransport<M> {
                 "frame to rank {peer} exceeds the {MAX_BODY}-byte body limit ({body_len} bytes)"
             )));
         }
-        self.send_buf.clear();
-        self.send_buf
-            .extend_from_slice(&(body_len as u32).to_le_bytes());
-        self.send_buf.extend_from_slice(&round.to_le_bytes());
-        self.send_buf
-            .extend_from_slice(&(self.rank as u32).to_le_bytes());
-        self.send_buf.extend_from_slice(&sent_total.to_le_bytes());
-        self.send_buf.extend_from_slice(&halted.to_le_bytes());
-        self.send_buf
-            .extend_from_slice(&self.frame_counts[peer].to_le_bytes());
-        self.send_buf
-            .extend_from_slice(&(self.stats_buf.len() as u32).to_le_bytes());
+        let frame = &mut self.last_frames[peer];
+        frame.clear();
+        frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+        frame.extend_from_slice(&round.to_le_bytes());
+        frame.extend_from_slice(&(self.rank as u32).to_le_bytes());
+        frame.extend_from_slice(&sent_total.to_le_bytes());
+        frame.extend_from_slice(&halted.to_le_bytes());
+        frame.extend_from_slice(&self.frame_counts[peer].to_le_bytes());
+        frame.extend_from_slice(&(self.stats_buf.len() as u32).to_le_bytes());
         let churn_count = self.churn_buf.len() / crate::churn::ChurnEvent::WIRE_BYTES;
-        self.send_buf
-            .extend_from_slice(&(churn_count as u32).to_le_bytes());
-        self.send_buf.extend_from_slice(&self.stats_buf);
-        self.send_buf.extend_from_slice(&self.churn_buf);
-        self.send_buf.extend_from_slice(&self.frame_bufs[peer]);
-        let stream = self.streams[peer]
-            .as_mut()
-            .expect("peer stream present by construction");
-        stream
-            .write_all(&self.send_buf)
-            .map_err(|e| transport_io(&format!("write frame to rank {peer}"), e))?;
-        stream
-            .flush()
-            .map_err(|e| transport_io(&format!("flush frame to rank {peer}"), e))
+        frame.extend_from_slice(&(churn_count as u32).to_le_bytes());
+        frame.extend_from_slice(&self.stats_buf);
+        frame.extend_from_slice(&self.churn_buf);
+        frame.extend_from_slice(&self.frame_bufs[peer]);
+        Ok(())
     }
 
-    /// Reads peer `peer`'s frame body into `read_buf` and returns it.
-    fn read_frame(&mut self, peer: usize) -> RuntimeResult<()> {
-        let stream = self.streams[peer]
-            .as_mut()
-            .expect("peer stream present by construction");
-        let mut len = [0u8; 4];
+    /// Writes the assembled frame to peer `peer` (one buffered `write_all`).
+    /// A failure is peer death, dispatched on the recovery policy.
+    fn send_frame(&mut self, peer: usize) -> Result<(), PeerDeath> {
+        let stream = match self.streams[peer].as_mut() {
+            Some(stream) => stream,
+            None => {
+                return Err(PeerDeath {
+                    peer,
+                    elapsed: Duration::ZERO,
+                    polls: 0,
+                    cause: "no live connection".to_string(),
+                })
+            }
+        };
         stream
-            .read_exact(&mut len)
-            .map_err(|e| transport_io(&format!("read frame length from rank {peer}"), e))?;
+            .write_all(&self.last_frames[peer])
+            .and_then(|_| stream.flush())
+            .map_err(|err| PeerDeath {
+                peer,
+                elapsed: Duration::ZERO,
+                polls: 0,
+                cause: format!("write frame: {err}"),
+            })
+    }
+
+    /// Reads peer `peer`'s frame body into `read_buf`. A dead peer (EOF,
+    /// reset, liveness deadline) is reported as [`ReadFailure::Dead`] for
+    /// the recovery policy; protocol violations are fatal.
+    fn read_frame(&mut self, peer: usize) -> Result<(), ReadFailure> {
+        let io_timeout = self.config.io_timeout;
+        let stream = match self.streams[peer].as_mut() {
+            Some(stream) => stream,
+            None => {
+                return Err(ReadFailure::Dead(PeerDeath {
+                    peer,
+                    elapsed: Duration::ZERO,
+                    polls: 0,
+                    cause: "no live connection".to_string(),
+                }))
+            }
+        };
+        let mut len = [0u8; 4];
+        read_exact_deadline(stream, &mut len, io_timeout, peer, "read frame length")
+            .map_err(ReadFailure::Dead)?;
         let body_len = u32::from_le_bytes(len);
         if body_len > MAX_BODY || (body_len as usize) < BODY_FIXED {
-            return Err(RuntimeError::transport(format!(
+            return Err(ReadFailure::Fatal(RuntimeError::transport(format!(
                 "desynchronized stream from rank {peer}: implausible frame body of {body_len} bytes"
-            )));
+            ))));
         }
         self.read_buf.resize(body_len as usize, 0);
-        stream
-            .read_exact(&mut self.read_buf)
-            .map_err(|e| transport_io(&format!("read frame body from rank {peer}"), e))
+        let stream = self.streams[peer].as_mut().expect("stream checked above");
+        read_exact_deadline(
+            stream,
+            &mut self.read_buf,
+            io_timeout,
+            peer,
+            "read frame body",
+        )
+        .map_err(ReadFailure::Dead)
     }
 }
 
@@ -576,6 +1190,7 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
         let node_count = mailboxes.len();
         let chunk = node_count.div_ceil(self.world);
         let owned = rank_range(self.rank, self.world, node_count);
+        let policy = self.config.recovery;
 
         for buf in &mut self.frame_bufs {
             buf.clear();
@@ -599,11 +1214,41 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
         }
         let halted_local = halted[owned.clone()].iter().filter(|&&h| h).count() as u32;
 
+        let mut recovered_peers = 0usize;
+        let mut lost_peers = 0usize;
+
         // Write every peer's frame first (frames buffer in the kernel), then
-        // read; no read depends on a peer having read ours.
+        // read; no read depends on a peer having read ours. Frames are
+        // assembled for every live peer before any write, so a peer that
+        // dies mid-barrier can be re-sent its frame after rejoining.
         for peer in 0..self.world {
-            if peer != self.rank {
-                self.write_frame(peer, round, local_sent, halted_local)?;
+            if peer != self.rank && !self.dead[peer] {
+                self.build_frame(peer, round, local_sent, halted_local)?;
+            }
+        }
+        for peer in 0..self.world {
+            if peer == self.rank || self.dead[peer] {
+                continue;
+            }
+            if let Err(death) = self.send_frame(peer) {
+                match policy {
+                    RecoveryPolicy::FailFast => {
+                        return Err(death.into_error(self.rank, &self.config.peers[peer]));
+                    }
+                    RecoveryPolicy::Retry { .. } => {
+                        // Defer: the rejoin (and the frame re-send) happens
+                        // at this peer's read slot, preserving delivery
+                        // order.
+                        self.streams[peer] = None;
+                        self.rejoin_pending[peer] = true;
+                    }
+                    RecoveryPolicy::DegradeToSurvivors => {
+                        self.streams[peer] = None;
+                        self.dead[peer] = true;
+                        lost_peers += 1;
+                        self.lost_total += 1;
+                    }
+                }
             }
         }
 
@@ -626,7 +1271,51 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
                 }
                 continue;
             }
-            self.read_frame(slot)?;
+            if self.dead[slot] {
+                // Degraded rank: fail-stop semantics. All of its nodes are
+                // counted as remotely halted so termination detection keeps
+                // working without it; its traffic is gone.
+                remote_halted += rank_range(slot, self.world, node_count).len();
+                continue;
+            }
+            if self.rejoin_pending[slot] {
+                if let RecoveryPolicy::Retry { attempts } = policy {
+                    self.recover_peer(slot, round, attempts)?;
+                    recovered_peers += 1;
+                    self.recovered_total += 1;
+                }
+            }
+            if let Err(failure) = self.read_frame(slot) {
+                match failure {
+                    ReadFailure::Fatal(err) => return Err(err),
+                    ReadFailure::Dead(death) => match policy {
+                        RecoveryPolicy::FailFast => {
+                            return Err(death.into_error(self.rank, &self.config.peers[slot]));
+                        }
+                        RecoveryPolicy::Retry { attempts } => {
+                            self.recover_peer(slot, round, attempts)?;
+                            recovered_peers += 1;
+                            self.recovered_total += 1;
+                            if let Err(second) = self.read_frame(slot) {
+                                return Err(match second {
+                                    ReadFailure::Fatal(err) => err,
+                                    ReadFailure::Dead(death) => {
+                                        death.into_error(self.rank, &self.config.peers[slot])
+                                    }
+                                });
+                            }
+                        }
+                        RecoveryPolicy::DegradeToSurvivors => {
+                            self.streams[slot] = None;
+                            self.dead[slot] = true;
+                            lost_peers += 1;
+                            self.lost_total += 1;
+                            remote_halted += rank_range(slot, self.world, node_count).len();
+                            continue;
+                        }
+                    },
+                }
+            }
             let mut reader = FrameReader {
                 buf: &self.read_buf,
                 pos: 0,
@@ -752,6 +1441,8 @@ impl<M: WireCodec + Clone + fmt::Debug + Send + Sync> Transport<M> for TcpTransp
         Ok(BarrierOutcome {
             delivered,
             remote_halted,
+            recovered_peers,
+            lost_peers,
         })
     }
 

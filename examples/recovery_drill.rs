@@ -1,0 +1,239 @@
+//! Crash-recovery drill with genuine OS processes: a two-rank TCP execution
+//! in which rank 1 checkpoints every round boundary, abruptly exits
+//! mid-execution, and is relaunched from its last checkpoint file — while
+//! rank 0, under [`RecoveryPolicy::Retry`], holds the barrier until the
+//! rank rejoins. Both ranks then finish and independently verify that
+//! outputs, [`ExecutionMetrics`] and [`MessageLedger`] are bit-identical to
+//! an uninterrupted in-process replay: the free-lunch contract survives a
+//! kill.
+//!
+//! ```sh
+//! cargo run --release --example recovery_drill
+//! ```
+//!
+//! With no arguments the process orchestrates: it reserves two localhost
+//! ports and a checkpoint path, spawns rank 0 (the survivor) and rank 1
+//! (the victim, which exits after round `KILL_ROUND` without any shutdown
+//! handshake), waits for the victim to die, then spawns the relauncher,
+//! which restores [`NetworkCheckpoint::read_from_file`] and re-enters the
+//! mesh through [`TcpTransport::resume_from`].
+//!
+//! [`ExecutionMetrics`]: freelunch::runtime::ExecutionMetrics
+//! [`MessageLedger`]: freelunch::runtime::MessageLedger
+
+use freelunch::algorithms::{is_maximal_independent_set, LubyMis};
+use freelunch::graph::generators::{sparse_connected_erdos_renyi, GeneratorConfig};
+use freelunch::graph::MultiGraph;
+use freelunch::runtime::transport::{RecoveryPolicy, TcpConfig, TcpTransport};
+use freelunch::runtime::{
+    ChurnPlan, FaultPlan, InitialKnowledge, Network, NetworkCheckpoint, NetworkConfig,
+};
+use std::net::{SocketAddr, TcpListener};
+use std::process::Command;
+use std::time::Duration;
+
+const SEED: u64 = 23;
+const BUDGET: u32 = 300;
+/// The victim exits right after completing this round (having checkpointed
+/// it), with its sockets torn down by the OS — no goodbye frame.
+const KILL_ROUND: u32 = 3;
+
+fn graph() -> Result<MultiGraph, Box<dyn std::error::Error>> {
+    Ok(sparse_connected_erdos_renyi(
+        &GeneratorConfig::new(500, 17),
+        6.0,
+    )?)
+}
+
+fn factory(_: freelunch::graph::NodeId, knowledge: &InitialKnowledge) -> LubyMis {
+    LubyMis::new(knowledge.degree())
+}
+
+/// Verifies a finished rank against an uninterrupted in-process replay.
+fn verify(
+    rank: usize,
+    network: &Network<LubyMis, TcpTransport<<LubyMis as freelunch::runtime::NodeProgram>::Message>>,
+    graph: &MultiGraph,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut reference = Network::new(graph, NetworkConfig::with_seed(SEED), factory)?;
+    reference.run_until_halt(BUDGET)?;
+    let reference_states: Vec<_> = reference.programs().iter().map(LubyMis::state).collect();
+    let owned = network.owned_nodes();
+    let states: Vec<_> = network.programs()[owned.clone()]
+        .iter()
+        .map(LubyMis::state)
+        .collect();
+    assert_eq!(
+        states, reference_states[owned],
+        "rank {rank}: outputs diverged from the uninterrupted replay"
+    );
+    assert_eq!(
+        network.metrics(),
+        reference.metrics(),
+        "rank {rank}: metrics diverged"
+    );
+    assert_eq!(
+        network.ledger(),
+        reference.ledger(),
+        "rank {rank}: message ledger diverged"
+    );
+    assert!(is_maximal_independent_set(graph, &reference_states));
+    Ok(())
+}
+
+/// Rank 0: the survivor. Runs to quiescence under `Retry`, riding out the
+/// victim's death and re-admitting it at the barrier.
+fn run_survivor(peers: Vec<SocketAddr>) -> Result<(), Box<dyn std::error::Error>> {
+    let graph = graph()?;
+    let mut config = TcpConfig::new(0, peers).with_recovery(RecoveryPolicy::Retry { attempts: 6 });
+    config.io_timeout = Duration::from_secs(10);
+    let transport = TcpTransport::connect(&config)?;
+    let mut network = Network::with_transport(
+        &graph,
+        NetworkConfig::with_seed(SEED),
+        FaultPlan::none(),
+        transport,
+        factory,
+    )?;
+    network.run_until_halt(BUDGET)?;
+    let recovered = network.transport().recovered_peers_total();
+    assert_eq!(recovered, 1, "survivor should have re-admitted the victim");
+    verify(0, &network, &graph)?;
+    let cost = network.cost();
+    println!(
+        "rank 0 (survivor): rounds={}, messages={}, peers recovered={recovered} — \
+         observables identical to the uninterrupted replay ✓",
+        cost.rounds, cost.messages
+    );
+    Ok(())
+}
+
+/// Rank 1, first life: checkpoint every round boundary, then die abruptly.
+fn run_victim(
+    peers: Vec<SocketAddr>,
+    checkpoint_path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let graph = graph()?;
+    let config = TcpConfig::new(1, peers);
+    let transport = TcpTransport::connect(&config)?;
+    let mut network = Network::with_transport(
+        &graph,
+        NetworkConfig::with_seed(SEED),
+        FaultPlan::none(),
+        transport,
+        factory,
+    )?;
+    for _ in 0..KILL_ROUND {
+        network.run_round()?;
+        // Checkpoint every boundary, atomically (tmp + rename): a crash
+        // mid-write can never tear the last good checkpoint.
+        network.checkpoint().write_to_file(checkpoint_path)?;
+    }
+    println!(
+        "rank 1 (victim): checkpointed round {KILL_ROUND} to {checkpoint_path}, exiting abruptly"
+    );
+    // A genuine crash: no destructors, no shutdown handshake — the OS tears
+    // the sockets down and the survivor sees EOF at the next barrier.
+    std::process::exit(0);
+}
+
+/// Rank 1, second life: restore the checkpoint file, rejoin the mesh, run
+/// to quiescence, verify.
+fn run_relaunched(
+    peers: Vec<SocketAddr>,
+    checkpoint_path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let graph = graph()?;
+    let checkpoint = NetworkCheckpoint::read_from_file(checkpoint_path)?;
+    assert_eq!(checkpoint.round, KILL_ROUND, "stale or missing checkpoint");
+    let config = TcpConfig::new(1, peers);
+    let transport =
+        TcpTransport::resume_from(&config, checkpoint.round, checkpoint.fault_totals())?;
+    let mut network = Network::restore_with_plans(
+        &graph,
+        FaultPlan::none(),
+        ChurnPlan::none(),
+        transport,
+        &checkpoint,
+        factory,
+    )?;
+    network.run_until_halt(BUDGET)?;
+    verify(1, &network, &graph)?;
+    let cost = network.cost();
+    println!(
+        "rank 1 (relaunched): resumed at round {KILL_ROUND}, finished at round {} with \
+         messages={} — observables identical to the uninterrupted replay ✓",
+        cost.rounds, cost.messages
+    );
+    Ok(())
+}
+
+/// Orchestrator: reserve ports and a checkpoint path, run the three lives.
+fn orchestrate() -> Result<(), Box<dyn std::error::Error>> {
+    let peers: Vec<SocketAddr> = (0..2)
+        .map(|_| TcpListener::bind("127.0.0.1:0").and_then(|l| l.local_addr()))
+        .collect::<Result<_, _>>()?;
+    let peer_list = peers
+        .iter()
+        .map(|addr| addr.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let checkpoint_path = std::env::temp_dir().join(format!(
+        "freelunch-recovery-drill-{}.flcp",
+        std::process::id()
+    ));
+    let checkpoint_path = checkpoint_path.to_string_lossy().into_owned();
+    println!("spawning survivor + victim over {peer_list}; checkpoint at {checkpoint_path}");
+
+    let exe = std::env::current_exe()?;
+    let spawn = |rank: &str, resume: bool| {
+        let mut command = Command::new(&exe);
+        command
+            .env("FREELUNCH_RANK", rank)
+            .env("FREELUNCH_PEERS", &peer_list)
+            .env("FREELUNCH_CHECKPOINT", &checkpoint_path);
+        if resume {
+            command.env("FREELUNCH_RESUME", "1");
+        }
+        command.spawn()
+    };
+
+    let survivor = spawn("0", false)?;
+    let victim = spawn("1", false)?;
+
+    let victim_status = victim.wait_with_output()?;
+    if !victim_status.status.success() {
+        return Err(format!("victim exited with {}", victim_status.status).into());
+    }
+    println!("victim is dead; relaunching rank 1 from its checkpoint");
+    let relaunched = spawn("1", true)?;
+
+    for (name, child) in [("survivor", survivor), ("relaunched rank 1", relaunched)] {
+        let status = child.wait_with_output()?;
+        if !status.status.success() {
+            return Err(format!("{name} exited with {}", status.status).into());
+        }
+    }
+    std::fs::remove_file(&checkpoint_path).ok();
+    println!("kill/relaunch drill complete: every rank bit-identical to the uninterrupted run ✓");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    match std::env::var("FREELUNCH_RANK") {
+        Ok(rank) => {
+            let peers = std::env::var("FREELUNCH_PEERS")?
+                .split(',')
+                .map(|addr| addr.parse())
+                .collect::<Result<Vec<SocketAddr>, _>>()?;
+            let checkpoint_path = std::env::var("FREELUNCH_CHECKPOINT")?;
+            match (rank.as_str(), std::env::var("FREELUNCH_RESUME").is_ok()) {
+                ("0", _) => run_survivor(peers),
+                ("1", false) => run_victim(peers, &checkpoint_path),
+                ("1", true) => run_relaunched(peers, &checkpoint_path),
+                (other, _) => Err(format!("unknown rank {other}").into()),
+            }
+        }
+        Err(_) => orchestrate(),
+    }
+}

@@ -21,7 +21,7 @@ use freelunch::algorithms::mis::{LubyMis, MisMessage};
 use freelunch::core::sampler::distributed::{Level0Message, Level0Program};
 use freelunch::graph::{EdgeId, NodeId};
 use freelunch::runtime::transport::{CodecError, WireCodec};
-use freelunch::runtime::{ChurnEvent, NodeProgram};
+use freelunch::runtime::{CheckpointHeader, ChurnEvent, NodeProgram, RejoinHello};
 use std::fmt::Debug;
 
 /// The structured value grid the payload-carrying variants are swept over.
@@ -338,6 +338,173 @@ fn churn_event_padding_corruption_is_rejected() {
                 "padding corruption at byte {position} of {event:?} went unnoticed"
             );
         }
+    }
+}
+
+/// Laws 1–3 for the checkpoint-file header (`docs/RECOVERY.md`): like churn
+/// events, the header is not a program payload — it is the 24-byte front of
+/// every checkpoint file — so it is swept directly. Its rejection law is
+/// what makes torn and corrupt checkpoint files detectable before any
+/// section parsing.
+#[test]
+fn checkpoint_headers_obey_the_codec_laws() {
+    for body_len in VALUE_GRID {
+        for checksum in [0u64, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+            let header = CheckpointHeader { body_len, checksum };
+            let encoded = header.encode_to_vec();
+
+            // Law 2: fixed sizing.
+            assert_eq!(encoded.len(), CheckpointHeader::WIRE_BYTES);
+
+            // Law 1: roundtrip.
+            assert_eq!(CheckpointHeader::decode(&encoded), Ok(header));
+
+            // Law 3: every strict prefix is a torn write…
+            for cut in 0..encoded.len() {
+                assert_eq!(
+                    CheckpointHeader::decode(&encoded[..cut]),
+                    Err(CodecError::Truncated {
+                        needed: CheckpointHeader::WIRE_BYTES,
+                        got: cut
+                    }),
+                    "{header:?} survived truncation to {cut} bytes"
+                );
+            }
+            // …and trailing garbage is rejected, zero or not.
+            for extra in [0x00, 0xA5] {
+                let mut oversized = encoded.clone();
+                oversized.push(extra);
+                assert_eq!(
+                    CheckpointHeader::decode(&oversized),
+                    Err(CodecError::Oversized {
+                        expected: CheckpointHeader::WIRE_BYTES,
+                        got: CheckpointHeader::WIRE_BYTES + 1
+                    })
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_header_magic_version_and_padding_corruption_is_rejected() {
+    let encoded = CheckpointHeader {
+        body_len: 64,
+        checksum: 7,
+    }
+    .encode_to_vec();
+    // A corrupted magic answers InvalidTag with the first differing byte —
+    // "not a checkpoint file" beats a checksum wild-goose chase.
+    for position in 0..4 {
+        let mut bad = encoded.clone();
+        bad[position] = 0x7F;
+        assert_eq!(
+            CheckpointHeader::decode(&bad),
+            Err(CodecError::InvalidTag { tag: 0x7F }),
+            "magic corruption at byte {position} went unnoticed"
+        );
+    }
+    // Every unknown version byte is rejected (version 1 is the only live
+    // one), so a future layout bump can never be misparsed by this build.
+    for version in (0u8..=255).filter(|&v| v != 1) {
+        let mut bad = encoded.clone();
+        bad[4] = version;
+        assert_eq!(
+            CheckpointHeader::decode(&bad),
+            Err(CodecError::InvalidTag { tag: version })
+        );
+    }
+    // Structural padding must be zero.
+    for position in 5..8 {
+        let mut bad = encoded.clone();
+        bad[position] = 0x7F;
+        assert_eq!(
+            CheckpointHeader::decode(&bad),
+            Err(CodecError::InvalidPadding),
+            "padding corruption at byte {position} went unnoticed"
+        );
+    }
+}
+
+/// Laws 1–3 for the rejoin-handshake frame (`docs/RECOVERY.md`): the
+/// 24-byte [`RejoinHello`] a relaunched rank opens with when it dials a
+/// survivor. A corrupted or truncated hello must be rejected before the
+/// survivor decides whether to re-admit the rank.
+#[test]
+fn rejoin_hellos_obey_the_codec_laws() {
+    for value in VALUE_GRID {
+        let hello = RejoinHello {
+            world: value as u32,
+            rank: (value as u32).wrapping_add(1),
+            resume_round: (value as u32).wrapping_mul(3),
+        };
+        let encoded = hello.encode_to_vec();
+
+        // Law 2: fixed sizing.
+        assert_eq!(encoded.len(), RejoinHello::WIRE_BYTES);
+
+        // Law 1: roundtrip.
+        assert_eq!(RejoinHello::decode(&encoded), Ok(hello));
+
+        // Law 3: truncation and trailing garbage are rejected.
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                RejoinHello::decode(&encoded[..cut]),
+                Err(CodecError::Truncated {
+                    needed: RejoinHello::WIRE_BYTES,
+                    got: cut
+                }),
+                "{hello:?} survived truncation to {cut} bytes"
+            );
+        }
+        for extra in [0x00, 0xA5] {
+            let mut oversized = encoded.clone();
+            oversized.push(extra);
+            assert_eq!(
+                RejoinHello::decode(&oversized),
+                Err(CodecError::Oversized {
+                    expected: RejoinHello::WIRE_BYTES,
+                    got: RejoinHello::WIRE_BYTES + 1
+                })
+            );
+        }
+    }
+}
+
+#[test]
+fn rejoin_hello_magic_version_and_padding_corruption_is_rejected() {
+    let encoded = RejoinHello {
+        world: 2,
+        rank: 1,
+        resume_round: 5,
+    }
+    .encode_to_vec();
+    for position in 0..4 {
+        let mut bad = encoded.clone();
+        bad[position] = 0x7F;
+        assert_eq!(
+            RejoinHello::decode(&bad),
+            Err(CodecError::InvalidTag { tag: 0x7F }),
+            "magic corruption at byte {position} went unnoticed"
+        );
+    }
+    for version in (0u8..=255).filter(|&v| v != 1) {
+        let mut bad = encoded.clone();
+        bad[4] = version;
+        assert_eq!(
+            RejoinHello::decode(&bad),
+            Err(CodecError::InvalidTag { tag: version })
+        );
+    }
+    // Both padding runs — after the version byte and at the tail.
+    for position in (5..8).chain(20..24) {
+        let mut bad = encoded.clone();
+        bad[position] = 0x7F;
+        assert_eq!(
+            RejoinHello::decode(&bad),
+            Err(CodecError::InvalidPadding),
+            "padding corruption at byte {position} went unnoticed"
+        );
     }
 }
 

@@ -36,6 +36,36 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl ChaCha8Rng {
+    /// Number of 32-bit words consumed from the keystream so far.
+    ///
+    /// Together with the seed this fully determines the generator state, so
+    /// a checkpointed position can be restored with [`Self::set_word_pos`].
+    pub fn word_pos(&self) -> u64 {
+        if self.cursor >= 16 {
+            self.counter.wrapping_mul(16)
+        } else {
+            // `refill` already advanced `counter` past the block the cursor
+            // is reading from.
+            self.counter.wrapping_sub(1).wrapping_mul(16) + self.cursor as u64
+        }
+    }
+
+    /// Fast-forwards (or rewinds) a freshly seeded generator to an absolute
+    /// keystream position previously read with [`Self::word_pos`].
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        let rem = (pos % 16) as usize;
+        if rem == 0 {
+            // Exactly at a block boundary: next read refills from `counter`.
+            self.cursor = 16;
+        } else {
+            // Mid-block: regenerate the block (refill bumps `counter` to the
+            // value `word_pos` expects) and skip the consumed words.
+            self.refill();
+            self.cursor = rem;
+        }
+    }
+
     fn refill(&mut self) {
         // "expand 32-byte k" constants.
         let mut state: [u32; 16] = [
@@ -135,6 +165,25 @@ mod tests {
         }
         let mut b = a.clone();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn word_pos_roundtrips_at_every_offset() {
+        // Restoring `(seed, word_pos)` must land on the identical stream
+        // tail, at block boundaries and mid-block alike.
+        for consumed in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let mut original = ChaCha8Rng::seed_from_u64(77);
+            for _ in 0..consumed {
+                original.next_u32();
+            }
+            assert_eq!(original.word_pos(), consumed as u64);
+            let mut restored = ChaCha8Rng::seed_from_u64(77);
+            restored.set_word_pos(consumed as u64);
+            assert_eq!(restored.word_pos(), consumed as u64);
+            let tail: Vec<u32> = (0..40).map(|_| original.next_u32()).collect();
+            let replay: Vec<u32> = (0..40).map(|_| restored.next_u32()).collect();
+            assert_eq!(tail, replay, "stream diverged after {consumed} words");
+        }
     }
 
     #[test]
