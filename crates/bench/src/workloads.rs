@@ -10,7 +10,7 @@ use freelunch_graph::generators::{
     sparse_connected_erdos_renyi, sparse_planted_partition, GeneratorConfig,
     PlantedPartitionParams,
 };
-use freelunch_graph::{GraphResult, MultiGraph};
+use freelunch_graph::{GraphResult, MultiGraph, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// The graph families the evaluation sweeps over.
@@ -86,15 +86,40 @@ pub enum ScalingWorkload {
     /// Sparse planted partition: blocks of ≈256 nodes, intra degree 12,
     /// one cut edge per two nodes.
     Community,
+    /// Deterministic hub-and-spokes skew: a path-connected core of at most
+    /// 64 hubs at the *lowest* node indices, every remaining node attached
+    /// to one hub round-robin. Every edge is incident to a hub, so the
+    /// first contiguous shard range carries half of all message work — the
+    /// worst case for static shard chunking and the motivating case for
+    /// the work-stealing scheduler (`docs/PERF.md` §2).
+    SkewedHub,
 }
 
 impl ScalingWorkload {
-    /// All scaling workloads, in presentation order.
+    /// The three calibrated scaling families, in presentation order. The
+    /// planner's cost models and the committed ledger / churn / recovery
+    /// recordings quantify over exactly these; [`ScalingWorkload::SkewedHub`]
+    /// is deliberately *not* included (no calibration exists for it — see
+    /// [`ScalingWorkload::throughput_sweep`]).
     pub fn all() -> [ScalingWorkload; 3] {
         [
             ScalingWorkload::ErdosRenyi,
             ScalingWorkload::ScaleFree,
             ScalingWorkload::Community,
+        ]
+    }
+
+    /// The engine-throughput sweep: [`ScalingWorkload::all`] plus the
+    /// skewed-hub starvation topology. This is the grid `exp_scaling`
+    /// records and the `round_barrier` bench regresses — the extra family
+    /// exists to expose scheduler imbalance, not to feed the calibrated
+    /// cost models.
+    pub fn throughput_sweep() -> [ScalingWorkload; 4] {
+        [
+            ScalingWorkload::ErdosRenyi,
+            ScalingWorkload::ScaleFree,
+            ScalingWorkload::Community,
+            ScalingWorkload::SkewedHub,
         ]
     }
 
@@ -104,6 +129,7 @@ impl ScalingWorkload {
             ScalingWorkload::ErdosRenyi => "erdos-renyi",
             ScalingWorkload::ScaleFree => "scale-free",
             ScalingWorkload::Community => "communities",
+            ScalingWorkload::SkewedHub => "skewed-hub",
         }
     }
 
@@ -120,6 +146,18 @@ impl ScalingWorkload {
             ScalingWorkload::Community => {
                 let communities = (n / 256).clamp(2, 8192);
                 sparse_planted_partition(&config, communities, 12.0, 1.0)
+            }
+            ScalingWorkload::SkewedHub => {
+                // Deterministic by construction; the seed only names the row.
+                let hubs = (n / 512).clamp(2, 64).min(n);
+                let mut graph = MultiGraph::with_capacity(n, n.saturating_sub(1));
+                for hub in 1..hubs {
+                    graph.add_edge(NodeId::from_usize(hub - 1), NodeId::from_usize(hub))?;
+                }
+                for leaf in hubs..n {
+                    graph.add_edge(NodeId::from_usize(leaf % hubs), NodeId::from_usize(leaf))?;
+                }
+                Ok(graph)
             }
         }
     }
@@ -158,7 +196,7 @@ mod tests {
 
     #[test]
     fn all_scaling_workloads_build_connected_sparse_graphs() {
-        for workload in ScalingWorkload::all() {
+        for workload in ScalingWorkload::throughput_sweep() {
             let graph = workload.build(4096, 3).unwrap();
             assert_eq!(graph.node_count(), 4096, "{}", workload.label());
             assert!(

@@ -22,26 +22,41 @@
 //! # Sharded parallel execution
 //!
 //! Every round has two phases, both parallelized over
-//! [`NetworkConfig::shards`] contiguous node ranges:
+//! [`NetworkConfig::shards`] worker threads under a [`Scheduling`] mode:
 //!
 //! * the *execute* phase steps each node's program against its inbox
-//!   snapshot — nodes are mutually independent within a round, so each
-//!   shard steps its range on its own worker thread;
+//!   snapshot — nodes are mutually independent within a round. Under the
+//!   default [`Scheduling::Dynamic`] the node range is pre-split into
+//!   many small chunks ([`NetworkConfig::chunk_size`] nodes each) and the
+//!   workers **claim chunks off a shared atomic cursor** until none
+//!   remain, so a skewed workload (scale-free hubs, a half-halted graph)
+//!   cannot idle every worker behind one overloaded range.
+//!   [`Scheduling::Static`] keeps the pre-stealing partition into exactly
+//!   `shards` contiguous `div_ceil` ranges as a comparison baseline;
 //! * the *dispatch* phase delivers at the round barrier with
-//!   **receiver-sharded workers**: a route step buckets the canonical
-//!   node-ordered outboxes by receiver shard, then each worker drains
-//!   exactly the messages destined for its contiguous receiver range,
-//!   accumulating per-edge ledger partials as it goes; the partials are
-//!   merged into the [`MessageLedger`] when the barrier closes. Each
-//!   receiver's mailbox is filled in ascending sender order (and, per
-//!   sender, in send order): the exact order the sequential engine
-//!   produces.
+//!   **receiver-chunked workers**: a route step buckets the canonical
+//!   node-ordered outboxes into a (sender chunk × receiver chunk) grid,
+//!   then workers claim receiver chunks and drain their bucket columns in
+//!   ascending sender-chunk order, accumulating per-edge ledger partials
+//!   as they go; the partials are merged into the [`MessageLedger`] when
+//!   the barrier closes. Each receiver's mailbox is filled in ascending
+//!   sender order (and, per sender, in send order): the exact order the
+//!   sequential engine produces.
 //!
-//! Because each node also draws from its own seeded [`ChaCha8Rng`] stream,
-//! every observable of an execution — [`ExecutionMetrics`],
-//! [`MessageLedger`], [`Trace`], program outputs — is **bit-identical for
-//! every shard count** at equal seeds. Sharding is a wall-clock knob, never
-//! a semantics knob.
+//! Work-stealing changes only *which worker* steps a node, and that is
+//! unobservable: every node writes only its own pre-allocated slots
+//! (program state, RNG, outbox, halted flag — chunks are disjoint `&mut`
+//! sub-slices each claimed exactly once), each node draws from its own
+//! seeded [`ChaCha8Rng`] stream keyed by `(seed, node)`, and the barrier
+//! reads everything back in canonical node order. A failing round reports
+//! the canonically **first** error (lowest node index) on all paths — the
+//! serial engine trivially, the static partition by joining shards in
+//! ascending order, the dynamic scheduler by reducing the per-worker
+//! lowest-node candidates after the join. Hence every observable of an
+//! execution — [`ExecutionMetrics`], [`MessageLedger`], [`Trace`],
+//! program outputs — is **bit-identical for every shard count, scheduler
+//! and chunk size** at equal seeds. Sharding and scheduling are
+//! wall-clock knobs, never semantics knobs.
 //!
 //! Per-message trace recording is priced separately: it is off by default
 //! ([`TraceMode::Off`]) and a traced execution ([`NetworkConfig::traced`])
@@ -107,6 +122,60 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One claimable chunk of the work-stealing execute phase: `(first node
+/// index, programs, rngs, outboxes, halted flags)` — disjoint equal-length
+/// sub-slices of the per-node state arrays, handed to exactly one worker by
+/// the claim cursor.
+type ExecChunk<'a, P, M> = (
+    usize,
+    &'a mut [P],
+    &'a mut [ChaCha8Rng],
+    &'a mut [Vec<Outgoing<M>>],
+    &'a mut [bool],
+);
+
+/// The work-stealing claim queue of the dynamic execute phase: one slot per
+/// [`ExecChunk`], `take`n exactly once by whichever worker's cursor fetch
+/// lands on it.
+type ExecQueue<'a, P, M> = Vec<Mutex<Option<ExecChunk<'a, P, M>>>>;
+
+/// How the parallel execute and dispatch phases split their node ranges
+/// across the worker shards.
+///
+/// Either mode produces **bit-identical observables** — outputs,
+/// [`ExecutionMetrics`], [`MessageLedger`], [`Trace`] — at equal seeds:
+/// every node writes only its own pre-allocated slots (program state, RNG,
+/// outbox, halted flag) whichever worker steps it, and all merging stays in
+/// canonical node order. Scheduling, like the shard count, is a wall-clock
+/// knob, never a semantics knob. See `docs/PERF.md` §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Scheduling {
+    /// Chunked work-stealing (the default): the node range is split into
+    /// many small fixed-size chunks ([`NetworkConfig::chunk_size`] nodes)
+    /// and workers claim them off a shared atomic cursor, so a worker that
+    /// finishes its chunk early immediately picks up the next one. On
+    /// skewed (scale-free) workloads this keeps every worker busy until the
+    /// barrier instead of leaving all but the hub-owning shard idle.
+    #[default]
+    Dynamic,
+    /// The pre-stealing static partition: exactly `shards` contiguous
+    /// `div_ceil` chunks, one per worker. Kept as the comparison baseline
+    /// (`BENCH_engine_scaling.json` records both) and for workloads whose
+    /// per-node cost is genuinely uniform.
+    Static,
+}
+
+/// Default [`NetworkConfig::chunk_size`]: small enough that a scale-free
+/// hub's chunk cannot dominate the barrier, large enough that the claim
+/// cursor is touched a few hundred times per phase at most.
+pub const DEFAULT_CHUNK_SIZE: usize = 2048;
+
+fn default_chunk_size() -> usize {
+    DEFAULT_CHUNK_SIZE
+}
 
 /// Configuration of a synchronous execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +208,21 @@ pub struct NetworkConfig {
     /// the execution is bit-identical for every shard count — see the
     /// [module docs](self).
     pub shards: usize,
+    /// How the parallel phases divide work across the shard workers
+    /// ([`Scheduling::Dynamic`] chunked work-stealing by default).
+    /// Irrelevant when `shards == 1`. Configs serialized before this field
+    /// existed deserialize as `Dynamic`; that is safe because scheduling
+    /// never changes an observable.
+    #[serde(default)]
+    pub sched: Scheduling,
+    /// Target nodes per work-stealing chunk under [`Scheduling::Dynamic`]
+    /// ([`DEFAULT_CHUNK_SIZE`] by default; 0 is rejected by
+    /// [`Network::new`]). Smaller chunks balance skew better but touch the
+    /// claim cursor more often; the dispatch barrier additionally clamps
+    /// its chunk grid so its bucket matrix stays small — see
+    /// `docs/PERF.md` §2 for tuning guidance.
+    #[serde(default = "default_chunk_size")]
+    pub chunk_size: usize,
 }
 
 impl Default for NetworkConfig {
@@ -150,6 +234,8 @@ impl Default for NetworkConfig {
             trace_mode: TraceMode::Off,
             trace_capacity: 0,
             shards: 1,
+            sched: Scheduling::Dynamic,
+            chunk_size: default_chunk_size(),
         }
     }
 }
@@ -191,6 +277,22 @@ impl NetworkConfig {
     /// [module docs](self)); only wall-clock time changes.
     pub fn sharded(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns a copy using the given [`Scheduling`] mode for the parallel
+    /// phases. A no-op knob semantically: observables are bit-identical
+    /// under either mode (and under any shard count).
+    pub fn scheduling(mut self, sched: Scheduling) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Returns a copy using the given work-stealing chunk size (nodes per
+    /// claimable chunk under [`Scheduling::Dynamic`]; 0 is rejected by
+    /// [`Network::new`]).
+    pub fn chunk_size(mut self, nodes: usize) -> Self {
+        self.chunk_size = nodes;
         self
     }
 }
@@ -467,6 +569,11 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
                 "the shard count must be at least 1",
             ));
         }
+        if config.chunk_size == 0 {
+            return Err(RuntimeError::invalid_config(
+                "the work-stealing chunk size must be at least 1 node",
+            ));
+        }
         if config.trace_mode == TraceMode::Full && !transport.supports_tracing() {
             return Err(RuntimeError::invalid_config(
                 "this transport backend cannot record canonical-order traces \
@@ -732,11 +839,18 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
     /// persistent outboxes and sizing their payloads
     /// ([`NodeProgram::payload_bytes`]) on the worker that stepped the
     /// node. With more than one shard the nodes are split into contiguous
-    /// chunks stepped on scoped worker threads.
+    /// chunks stepped on scoped worker threads: one `div_ceil` chunk per
+    /// worker under [`Scheduling::Static`], or many
+    /// [`NetworkConfig::chunk_size`]-node chunks claimed off a shared
+    /// atomic cursor under [`Scheduling::Dynamic`] (the default), so
+    /// skewed per-node costs cannot leave workers idle at the barrier.
     ///
     /// An invalid send (unknown or non-incident edge) aborts the round at
     /// the barrier — before anything is delivered or counted — reporting
-    /// the canonically first error (lowest node, earliest send).
+    /// the canonically first error (lowest node, earliest send): the serial
+    /// path sees it first, the static path joins shards in ascending node
+    /// order, and the work-stealing path reduces worker-local candidates by
+    /// node index.
     fn execute_phase(&mut self, round: u32, phase: Phase) -> RuntimeResult<()> {
         let shards = self.shard_count();
         let csr = &self.csr;
@@ -818,7 +932,7 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
                     first_error = error;
                 }
             }
-        } else {
+        } else if self.config.sched == Scheduling::Static {
             let chunk = owned.len().div_ceil(shards);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self.programs[owned.clone()]
@@ -863,6 +977,95 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
                     }
                 }
             });
+        } else {
+            // Chunked work-stealing (`Scheduling::Dynamic`): the owned range
+            // is pre-split into many small chunks and the workers claim them
+            // off a shared cursor, so a worker that drew cheap nodes keeps
+            // stepping while another grinds through a hub's heavy chunk.
+            // Determinism is free: whichever worker claims a chunk, every
+            // node still writes only its own pre-allocated slots, and errors
+            // are reduced to the canonical first one (lowest node index)
+            // after the joins.
+            let chunk = self
+                .config
+                .chunk_size
+                .min(owned.len().div_ceil(shards))
+                .max(1);
+            let chunks: ExecQueue<'_, P, P::Message> = self.programs[owned.clone()]
+                .chunks_mut(chunk)
+                .zip(self.rngs[owned.clone()].chunks_mut(chunk))
+                .zip(self.outboxes[owned.clone()].chunks_mut(chunk))
+                .zip(self.halted[owned.clone()].chunks_mut(chunk))
+                .enumerate()
+                .map(|(slot, (((programs, rngs), outboxes), halted))| {
+                    Mutex::new(Some((
+                        owned.start + slot * chunk,
+                        programs,
+                        rngs,
+                        outboxes,
+                        halted,
+                    )))
+                })
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            let workers = shards.min(chunks.len());
+            let mut lowest: Option<(usize, RuntimeError)> = None;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let step = &step;
+                        let cursor = &cursor;
+                        let chunks = &chunks;
+                        scope.spawn(move || {
+                            // This worker's canonically first error:
+                            // `(node index, error)`, lowest index wins.
+                            let mut worst: Option<(usize, RuntimeError)> = None;
+                            loop {
+                                let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                                if claimed >= chunks.len() {
+                                    break;
+                                }
+                                let (base, programs, rngs, outboxes, halted) = chunks[claimed]
+                                    .lock()
+                                    .expect("a chunk claim cannot be poisoned")
+                                    .take()
+                                    .expect("the cursor hands each chunk to exactly one worker");
+                                for (offset, (((program, rng), outbox), halted)) in programs
+                                    .iter_mut()
+                                    .zip(rngs.iter_mut())
+                                    .zip(outboxes.iter_mut())
+                                    .zip(halted.iter_mut())
+                                    .enumerate()
+                                {
+                                    let index = base + offset;
+                                    if let Some(error) = step(index, program, rng, outbox, halted) {
+                                        if worst.as_ref().is_none_or(|&(node, _)| index < node) {
+                                            worst = Some((index, error));
+                                        }
+                                    }
+                                }
+                            }
+                            worst
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        // Workers interleave their claims nondeterministically,
+                        // so — unlike the static path's ascending joins — the
+                        // canonical first error must be restored explicitly:
+                        // the lowest erroring node index wins.
+                        Ok(Some((node, error))) => {
+                            if lowest.as_ref().is_none_or(|&(best, _)| node < best) {
+                                lowest = Some((node, error));
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            first_error = lowest.map(|(_, error)| error);
         }
         match first_error {
             Some(error) => Err(error),
@@ -893,6 +1096,8 @@ impl<P: NodeProgram, T: Transport<P::Message>> Network<P, T> {
         let outcome = self.transport.deliver(RoundBarrier {
             round,
             shards,
+            sched: self.config.sched,
+            chunk_size: self.config.chunk_size,
             traced,
             local_sent: round_total,
             halted: &self.halted,
@@ -2090,6 +2295,48 @@ mod tests {
                 },
                 "at {shards} shards"
             );
+        }
+    }
+
+    #[test]
+    fn two_bad_senders_report_the_canonically_first_error() {
+        /// Two nodes in far-apart chunks both send over a non-incident edge.
+        struct TwinRogue;
+        impl NodeProgram for TwinRogue {
+            type Message = ();
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[Envelope<()>]) {
+                // Node 90's edge 0 is not incident; neither is node 3's
+                // edge 50. Under work-stealing a worker may step node 90
+                // first, but the reported error must still be node 3's.
+                if ctx.node() == NodeId::new(3) {
+                    ctx.send(EdgeId::new(50), ());
+                }
+                if ctx.node() == NodeId::new(90) {
+                    ctx.send(EdgeId::new(0), ());
+                }
+            }
+        }
+        let graph = cycle(96);
+        let first = RuntimeError::NotIncident {
+            node: NodeId::new(3),
+            edge: EdgeId::new(50),
+        };
+        for sched in [Scheduling::Dynamic, Scheduling::Static] {
+            for shards in [1, 2, 8] {
+                // chunk_size(1) maximizes chunk count, so the two rogues
+                // land in different chunks and are claimed by racing
+                // workers in a nondeterministic order.
+                let config = NetworkConfig::default()
+                    .sharded(shards)
+                    .scheduling(sched)
+                    .chunk_size(1);
+                let mut network = Network::new(&graph, config, |_, _| TwinRogue).unwrap();
+                assert_eq!(
+                    network.run_round().unwrap_err(),
+                    first,
+                    "at {shards} shards under {sched:?}"
+                );
+            }
         }
     }
 

@@ -37,6 +37,7 @@ pub use mock::{Disturbance, FrameRecord, MockTransport};
 pub use tcp::{RejoinHello, TcpConfig, TcpTransport};
 
 use crate::churn::ChurnEvent;
+use crate::engine::Scheduling;
 use crate::error::RuntimeResult;
 use crate::metrics::{ExecutionMetrics, MessageLedger};
 use crate::node::{Envelope, Outgoing};
@@ -69,6 +70,17 @@ pub struct RoundBarrier<'a, M> {
     /// Effective worker-shard count of this execution (a parallelism hint;
     /// a backend may ignore it and deliver serially).
     pub shards: usize,
+    /// The execution's [`Scheduling`] mode — like `shards`, a parallelism
+    /// hint. The in-process backend mirrors it: static receiver-sharded
+    /// delivery under [`Scheduling::Static`], chunk-claiming delivery
+    /// workers under [`Scheduling::Dynamic`]. Wire backends may ignore it.
+    pub sched: Scheduling,
+    /// Target nodes per work-stealing chunk
+    /// ([`NetworkConfig::chunk_size`](crate::engine::NetworkConfig::chunk_size));
+    /// only meaningful under [`Scheduling::Dynamic`]. A backend may clamp
+    /// it (the in-process dispatch coarsens the grid so its bucket matrix
+    /// stays small — see `docs/PERF.md` §2).
+    pub chunk_size: usize,
     /// Whether this round must record trace events (canonical order).
     pub traced: bool,
     /// Number of messages in the local outboxes (post fault pre-pass).

@@ -547,3 +547,47 @@ fn matrix_grid_meets_the_acceptance_floor() {
         churn.validate().unwrap();
     }
 }
+
+/// The scheduling-parity row of the churn matrix: under the mixed churn
+/// stream combined with message faults, the work-stealing scheduler must
+/// reproduce the sequential engine and the static shard partition
+/// bit-for-bit — churn events are resolved in canonical order at the round
+/// barrier, before any worker claims a chunk, so the surviving topology is
+/// scheduler-blind too.
+#[test]
+fn churn_matrix_scheduling_parity() {
+    use freelunch::runtime::Scheduling;
+    let graph = workloads().remove(0).1;
+    let n = graph.node_count();
+    let faults = FaultPlan::new(311)
+        .with_drop_probability(0.1)
+        .with_crash(NodeId::from_usize(n / 2), 3);
+    let churn = mixed_plan(&graph);
+    let run = |shards: usize, sched: Scheduling| {
+        let config = NetworkConfig::with_seed(7)
+            .sharded(shards)
+            .scheduling(sched)
+            .chunk_size(5);
+        let mut network = Network::with_plans(
+            &graph,
+            config,
+            faults.clone(),
+            churn.clone(),
+            InProcessTransport::new(),
+            |_, knowledge| LubyMis::new(knowledge.degree()),
+        )
+        .unwrap();
+        let error = network.run_until_halt(300).err().map(|e| e.to_string());
+        observe(&network, error, LubyMis::state)
+    };
+    let serial = run(1, Scheduling::Dynamic);
+    for shards in [2, 8] {
+        for sched in [Scheduling::Dynamic, Scheduling::Static] {
+            assert_eq!(
+                serial,
+                run(shards, sched),
+                "churned run differs at {shards} shards under {sched:?}"
+            );
+        }
+    }
+}

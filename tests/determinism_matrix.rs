@@ -25,7 +25,7 @@ use freelunch::graph::{MultiGraph, NodeId};
 use freelunch::runtime::transport::{MockTransport, TcpConfig, TcpTransport, WireCodec};
 use freelunch::runtime::{
     Context, Envelope, ExecutionMetrics, FaultPlan, InitialKnowledge, MessageLedger, Network,
-    NetworkConfig, NodeProgram, Trace, TraceMode,
+    NetworkConfig, NodeProgram, Scheduling, Trace, TraceMode, DEFAULT_CHUNK_SIZE,
 };
 use std::fmt::Debug;
 use std::net::{SocketAddr, TcpListener};
@@ -584,6 +584,139 @@ fn planner_reports_are_shard_and_trace_invariant() {
                 }
             }
         }
+    }
+}
+
+/// `SCHED_PARITY_SMOKE=1` shrinks the scheduling-parity grid (one
+/// workload, one shard count, one chunk size) for quick CI signal; the
+/// full grid runs under plain `cargo test`.
+fn sched_smoke() -> bool {
+    std::env::var_os("SCHED_PARITY_SMOKE").is_some()
+}
+
+/// The scheduling-parity rows of the matrix: the work-stealing scheduler
+/// (`Scheduling::Dynamic`, the default) and the static contiguous shard
+/// partition (`Scheduling::Static`, the pre-stealing engine) must both be
+/// bit-identical to the sequential engine — outputs, metrics, ledgers and
+/// traces — at every shard count and chunk size. The 7-node chunk forces
+/// real stealing (≈14 chunks race between the workers at n = 96); the
+/// default chunk collapses to one chunk per worker, pinning the
+/// boundary case where dynamic degenerates to the static partition.
+fn assert_sched_parity<P, O>(
+    graph: &MultiGraph,
+    seed: u64,
+    budget: u32,
+    factory: impl Fn(NodeId, &InitialKnowledge) -> P + Copy,
+    extract: impl Fn(&P) -> O,
+    label: &str,
+) where
+    P: NodeProgram,
+    O: PartialEq + Debug,
+{
+    let shard_counts: &[usize] = if sched_smoke() { &[2] } else { &SHARD_COUNTS };
+    let chunk_sizes: &[usize] = if sched_smoke() {
+        &[7]
+    } else {
+        &[7, DEFAULT_CHUNK_SIZE]
+    };
+    for trace_mode in [TraceMode::Full, TraceMode::Off] {
+        let run = |shards: usize, sched: Scheduling, chunk: usize| {
+            let config = NetworkConfig::with_seed(seed)
+                .traced(100_000)
+                .trace_mode(trace_mode)
+                .sharded(shards)
+                .scheduling(sched)
+                .chunk_size(chunk);
+            let mut network = Network::new(graph, config, factory).unwrap();
+            network.run_until_halt(budget).unwrap();
+            let outputs: Vec<O> = network.programs().iter().map(&extract).collect();
+            (
+                outputs,
+                network.metrics().clone(),
+                network.ledger().clone(),
+                network.trace().clone(),
+            )
+        };
+        let serial = run(1, Scheduling::Dynamic, DEFAULT_CHUNK_SIZE);
+        for &shards in shard_counts {
+            for sched in [Scheduling::Dynamic, Scheduling::Static] {
+                for &chunk in chunk_sizes {
+                    let parallel = run(shards, sched, chunk);
+                    let where_ = format!(
+                        "{label}: {shards} shards, {sched:?}, chunk {chunk} ({trace_mode:?})"
+                    );
+                    assert_eq!(serial.0, parallel.0, "{where_}: outputs differ");
+                    assert_eq!(serial.1, parallel.1, "{where_}: metrics differ");
+                    assert_eq!(serial.2, parallel.2, "{where_}: ledgers differ");
+                    assert_eq!(serial.3, parallel.3, "{where_}: traces differ");
+                }
+            }
+        }
+    }
+}
+
+/// One workload in smoke mode, all three in the full grid.
+fn sched_parity_workloads() -> Vec<(&'static str, MultiGraph)> {
+    let mut families = workloads();
+    if sched_smoke() {
+        families.truncate(1);
+    }
+    families
+}
+
+#[test]
+fn luby_mis_is_scheduling_invariant() {
+    for (name, graph) in sched_parity_workloads() {
+        assert_sched_parity(
+            &graph,
+            1,
+            300,
+            |_, knowledge| LubyMis::new(knowledge.degree()),
+            LubyMis::state,
+            &format!("luby-mis/{name}"),
+        );
+    }
+}
+
+#[test]
+fn randomized_coloring_is_scheduling_invariant() {
+    for (name, graph) in sched_parity_workloads() {
+        assert_sched_parity(
+            &graph,
+            2,
+            400,
+            |_, knowledge| RandomizedColoring::new(knowledge.degree()),
+            RandomizedColoring::color,
+            &format!("coloring/{name}"),
+        );
+    }
+}
+
+#[test]
+fn ball_gathering_is_scheduling_invariant() {
+    for (name, graph) in sched_parity_workloads() {
+        assert_sched_parity(
+            &graph,
+            3,
+            50,
+            |node, _| BallGathering::new(node, 2),
+            BallGathering::known_ids,
+            &format!("ball-gathering/{name}"),
+        );
+    }
+}
+
+#[test]
+fn maximal_matching_is_scheduling_invariant() {
+    for (name, graph) in sched_parity_workloads() {
+        assert_sched_parity(
+            &graph,
+            5,
+            300,
+            |_, _| MaximalMatching::new(),
+            MaximalMatching::matched_over,
+            &format!("matching/{name}"),
+        );
     }
 }
 

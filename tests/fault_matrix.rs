@@ -601,3 +601,54 @@ fn matrix_grid_meets_the_acceptance_floor() {
         }
     }
 }
+
+/// The scheduling-parity row of the fault matrix: under the combined chaos
+/// adversary (drop + duplicate + reorder + crash + link cuts) the
+/// work-stealing scheduler must reproduce the sequential engine and the
+/// static shard partition bit-for-bit. Fault fates are resolved from a
+/// ChaCha stream keyed per message, so they cannot observe which worker
+/// stepped the sender — this row pins that the chunk-claiming order
+/// genuinely never leaks into fault resolution.
+#[test]
+fn fault_matrix_scheduling_parity() {
+    use freelunch::runtime::Scheduling;
+    let graph = workloads().remove(0).1;
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let mut plan = FaultPlan::new(401)
+        .with_drop_probability(0.05)
+        .with_duplicate_probability(0.05)
+        .with_delivery_perturbation()
+        .with_crash(NodeId::from_usize(n / 2), 3);
+    for e in (0..m as u64).step_by(9) {
+        plan = plan.with_link_cut(EdgeId::new(e), 2);
+    }
+    let run = |shards: usize, sched: Scheduling| {
+        let config = NetworkConfig::with_seed(7)
+            .sharded(shards)
+            .scheduling(sched)
+            .chunk_size(5);
+        let mut network = Network::with_fault_plan(&graph, config, plan.clone(), |_, knowledge| {
+            LubyMis::new(knowledge.degree())
+        })
+        .unwrap();
+        let error = network.run_until_halt(300).err().map(|e| e.to_string());
+        Scenario {
+            outputs: network.programs().iter().map(LubyMis::state).collect(),
+            metrics: network.metrics().clone(),
+            ledger: network.ledger().clone(),
+            crashed: network.crashed_nodes(),
+            error,
+        }
+    };
+    let serial = run(1, Scheduling::Dynamic);
+    for shards in [2, 8] {
+        for sched in [Scheduling::Dynamic, Scheduling::Static] {
+            assert_eq!(
+                serial,
+                run(shards, sched),
+                "chaos run differs at {shards} shards under {sched:?}"
+            );
+        }
+    }
+}
